@@ -1,0 +1,218 @@
+(* Command-line front end for the congestion-aware synthesis flow.
+
+   Subcommands:
+     stats  - parse a circuit and print network / subject-graph statistics
+     map    - technology-map a circuit at a given K, write Verilog
+     flow   - run the full Figure-3 loop and report every iteration
+     sta    - map, place, route, then print the timing report
+
+   Inputs are BLIF or PLA files, or one of the built-in synthetic
+   workloads: spla, pdc, too_large (with --scale). *)
+
+module Network = Cals_logic.Network
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Router = Cals_route.Router
+module Congestion = Cals_route.Congestion
+module Sta = Cals_sta.Sta
+module Mapper = Cals_core.Mapper
+module Flow = Cals_core.Flow
+
+let library = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry library
+let wire = Cals_cell.Library.wire library
+
+let load_network input scale seed =
+  match input with
+  | "spla" -> Cals_workload.Presets.spla_like ~scale ~seed ()
+  | "pdc" -> Cals_workload.Presets.pdc_like ~scale ~seed ()
+  | "too_large" -> Cals_workload.Presets.too_large_like ~scale ~seed ()
+  | path when Filename.check_suffix path ".pla" -> Cals_logic.Pla.read_file path
+  | path -> Cals_logic.Blif.read_file path
+
+let prepare input scale seed optimize =
+  let network = load_network input scale seed in
+  if optimize then Cals_logic.Optimize.script_area network
+  else Cals_logic.Optimize.script_light network;
+  let subject = Cals_logic.Decompose.subject_of_network network in
+  (network, subject)
+
+let floorplan_of subject utilization =
+  Floorplan.for_area
+    ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+    ~utilization ~aspect:1.0 ~geometry
+
+(* ------------------------- stats ------------------------- *)
+
+let run_stats input scale seed optimize =
+  let network, subject = prepare input scale seed optimize in
+  Printf.printf "network:  %d PIs, %d POs, %d live nodes, %d SOP literals\n"
+    (Array.length (Network.pi_names network))
+    (Array.length (Network.outputs network))
+    (Network.num_live_nodes network)
+    (Network.num_literals network);
+  Printf.printf "factored: %d literals\n"
+    (Cals_logic.Decompose.factored_literals network);
+  Printf.printf "subject:  %d base gates (%d NAND2 + %d INV)\n"
+    (Subject.num_gates subject) (Subject.num_nand2 subject)
+    (Subject.num_inv subject);
+  let counts = Subject.fanout_counts subject in
+  let maxf = Array.fold_left max 0 counts in
+  Printf.printf "max fanout: %d\n" maxf;
+  0
+
+(* ------------------------- map ------------------------- *)
+
+let run_map input scale seed optimize k utilization output =
+  let _, subject = prepare input scale seed optimize in
+  let floorplan = floorplan_of subject utilization in
+  let rng = Cals_util.Rng.create (seed + 1) in
+  let positions = Placement.place_subject subject ~floorplan ~rng in
+  let result =
+    Mapper.map subject ~library ~positions (Mapper.congestion_aware ~k)
+  in
+  let mapped = result.Mapper.mapped in
+  Printf.printf "mapped at K=%g: %d cells, %.0f um2 (%d matches evaluated)\n" k
+    (Mapped.num_cells mapped) (Mapped.total_area mapped)
+    result.Mapper.stats.Mapper.matches_evaluated;
+  List.iter
+    (fun (name, count) -> Printf.printf "  %-8s %d\n" name count)
+    (Mapped.cell_histogram mapped);
+  (match output with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Mapped.to_verilog mapped);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  0
+
+(* ------------------------- flow ------------------------- *)
+
+let run_flow input scale seed optimize utilization =
+  let _, subject = prepare input scale seed optimize in
+  let floorplan = floorplan_of subject utilization in
+  Printf.printf "die: %s\n" (Floorplan.describe floorplan);
+  let outcome =
+    Flow.run ~subject ~library ~floorplan ~rng:(Cals_util.Rng.create (seed + 1)) ()
+  in
+  List.iter
+    (fun it ->
+      Printf.printf "K=%-8g cells=%-6d util=%5.2f%%  %s\n" it.Flow.k it.Flow.cells
+        (100.0 *. it.Flow.utilization)
+        (Congestion.summary it.Flow.report))
+    outcome.Flow.iterations;
+  match outcome.Flow.accepted with
+  | Some it ->
+    Printf.printf "accepted at K=%g\n" it.Flow.k;
+    0
+  | None ->
+    print_endline "no K in the schedule was acceptable";
+    1
+
+(* ------------------------- sta ------------------------- *)
+
+let run_sta input scale seed optimize k utilization =
+  let _, subject = prepare input scale seed optimize in
+  let floorplan = floorplan_of subject utilization in
+  let rng = Cals_util.Rng.create (seed + 1) in
+  let positions = Placement.place_subject subject ~floorplan ~rng in
+  let result =
+    Mapper.map subject ~library ~positions (Mapper.congestion_aware ~k)
+  in
+  let mapped = result.Mapper.mapped in
+  let placement = Placement.place_mapped_seeded mapped ~floorplan in
+  let routing = Router.route_mapped mapped ~floorplan ~wire ~placement in
+  Printf.printf "%s\n" (Congestion.summary (Congestion.of_result routing));
+  let report =
+    Sta.analyze ~net_length_um:routing.Router.net_length_um mapped ~wire
+      ~placement
+  in
+  Printf.printf "critical path: %s\n" (Sta.endpoint_to_string report.Sta.critical);
+  List.iter
+    (fun (label, t) -> Printf.printf "  %-20s %8.3f ns\n" label t)
+    report.Sta.critical_path;
+  0
+
+(* ------------------------- lib ------------------------- *)
+
+let run_lib output =
+  match output with
+  | Some path ->
+    Cals_cell.Liberty.write_file path library;
+    Printf.printf "wrote %s (%d cells)\n" path (Cals_cell.Library.size library);
+    0
+  | None ->
+    print_string (Cals_cell.Liberty.print library);
+    0
+
+(* ------------------------- cmdliner ------------------------- *)
+
+open Cmdliner
+
+let input_arg =
+  let doc = "Input: a .blif or .pla file, or one of spla, pdc, too_large." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor for the synthetic workloads." in
+  Arg.(value & opt float Cals_workload.Presets.default_scale & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for synthetic workloads and placement." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let optimize_arg =
+  let doc = "Run the aggressive (SIS-style) optimization script first." in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
+let k_arg =
+  let doc = "Congestion minimization factor K (Eq. 5 of the paper)." in
+  Arg.(value & opt float 0.0 & info [ "k" ] ~doc)
+
+let utilization_arg =
+  let doc = "Target core utilization used to derive the floorplan." in
+  Arg.(value & opt float 0.55 & info [ "utilization" ] ~doc)
+
+let output_arg =
+  let doc = "Write the mapped netlist as structural Verilog." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+let stats_cmd =
+  let doc = "print circuit statistics" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ input_arg $ scale_arg $ seed_arg $ optimize_arg)
+
+let map_cmd =
+  let doc = "technology-map a circuit at a given K" in
+  Cmd.v (Cmd.info "map" ~doc)
+    Term.(
+      const run_map $ input_arg $ scale_arg $ seed_arg $ optimize_arg $ k_arg
+      $ utilization_arg $ output_arg)
+
+let flow_cmd =
+  let doc = "run the congestion-aware synthesis loop (Figure 3)" in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(
+      const run_flow $ input_arg $ scale_arg $ seed_arg $ optimize_arg
+      $ utilization_arg)
+
+let sta_cmd =
+  let doc = "map, place, route and report static timing" in
+  Cmd.v (Cmd.info "sta" ~doc)
+    Term.(
+      const run_sta $ input_arg $ scale_arg $ seed_arg $ optimize_arg $ k_arg
+      $ utilization_arg)
+
+let lib_cmd =
+  let doc = "dump the synthetic cell library in Liberty format" in
+  Cmd.v (Cmd.info "lib" ~doc) Term.(const run_lib $ output_arg)
+
+let main_cmd =
+  let doc = "congestion-aware logic synthesis (DATE 2002 reproduction)" in
+  Cmd.group (Cmd.info "cals" ~doc)
+    [ stats_cmd; map_cmd; flow_cmd; sta_cmd; lib_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/figure1_mapping.ml: Array Cals_cell Cals_core Cals_netlist Cals_util Cals_workload List Printf String

@@ -1,0 +1,1 @@
+examples/kfactor_sweep.mli:

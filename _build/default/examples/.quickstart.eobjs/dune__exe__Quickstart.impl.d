@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cals_cell Cals_core Cals_logic Cals_netlist Cals_place Cals_route Cals_util Cals_workload List Printf

@@ -1,0 +1,1 @@
+examples/timing_closure_flow.mli:

@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Array Buffer Cell Library List Pattern Printf

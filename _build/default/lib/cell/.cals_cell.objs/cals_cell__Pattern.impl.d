@@ -1,0 +1,1 @@
+lib/cell/pattern.ml: Array Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/cell/stdlib_018.mli: Library

@@ -1,0 +1,45 @@
+let site_width = 0.66
+let row_height = 5.04
+
+let v0 = Pattern.Var 0
+let v1 = Pattern.Var 1
+let v2 = Pattern.Var 2
+let v3 = Pattern.Var 3
+let inv p = Pattern.Inv p
+let nand a b = Pattern.Nand (a, b)
+let and2 a b = inv (nand a b)
+let or2 a b = nand (inv a) (inv b)
+
+let cell name sites cap intr drive patterns =
+  Cell.make ~name ~width_sites:sites ~site_width ~row_height ~input_cap_pf:cap
+    ~intrinsic_ns:intr ~drive_kohm:drive patterns
+
+let cells =
+  [
+    cell "INV" 2 0.0035 0.022 3.2 [ inv v0 ];
+    cell "BUF" 3 0.0030 0.055 2.2 [ inv (inv v0) ];
+    cell "NAND2" 3 0.0045 0.045 4.1 [ nand v0 v1 ];
+    cell "NAND3" 4 0.0050 0.062 5.0
+      [ nand (and2 v0 v1) v2 ];
+    cell "NAND4" 5 0.0055 0.080 5.9
+      [ nand (and2 (and2 v0 v1) v2) v3; nand (and2 v0 v1) (and2 v2 v3) ];
+    cell "NOR2" 3 0.0048 0.052 5.2 [ inv (or2 v0 v1) ];
+    cell "NOR3" 4 0.0052 0.075 6.4 [ inv (nand (inv (or2 v0 v1)) (inv v2)) ];
+    cell "AND2" 4 0.0042 0.070 3.6 [ and2 v0 v1 ];
+    cell "AND3" 5 0.0046 0.088 4.0 [ and2 (and2 v0 v1) v2 ];
+    cell "OR2" 4 0.0044 0.074 3.8 [ or2 v0 v1 ];
+    cell "OR3" 5 0.0048 0.092 4.2 [ or2 (or2 v0 v1) v2 ];
+    cell "AOI21" 4 0.0050 0.058 5.6 [ inv (nand (nand v0 v1) (inv v2)) ];
+    cell "AOI22" 5 0.0054 0.072 6.2 [ inv (nand (nand v0 v1) (nand v2 v3)) ];
+    cell "OAI21" 4 0.0050 0.056 5.4 [ nand (or2 v0 v1) v2 ];
+    cell "OAI22" 5 0.0054 0.070 6.0 [ nand (or2 v0 v1) (or2 v2 v3) ];
+    cell "XOR2" 6 0.0060 0.095 5.8 [ nand (nand v0 (inv v1)) (nand (inv v0) v1) ];
+    cell "XNOR2" 6 0.0060 0.095 5.8 [ nand (nand v0 v1) (nand (inv v0) (inv v1)) ];
+    cell "MUX21" 6 0.0058 0.090 5.2 [ nand (nand v2 v1) (nand (inv v2) v0) ];
+  ]
+
+let library =
+  Library.make ~name:"VIRTLIB018"
+    { Library.site_width; row_height }
+    { Library.res_kohm_per_um = 0.0005; cap_pf_per_um = 0.00023; pitch_um = 0.56 }
+    cells

@@ -1,0 +1,1 @@
+lib/core/cover.ml: Array Cals_cell Cals_netlist Cals_util Hashtbl List Option Partition Printf

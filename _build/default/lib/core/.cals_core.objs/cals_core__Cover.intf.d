@@ -1,0 +1,1 @@
+lib/core/cover.mli: Cals_cell Cals_netlist Cals_util Partition

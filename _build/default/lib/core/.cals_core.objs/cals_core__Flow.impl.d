@@ -1,0 +1,1 @@
+lib/core/flow.ml: Cals_cell Cals_netlist Cals_place Cals_route List Mapper Partition

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cals_cell Cals_netlist Cals_place Cals_route Cals_util Partition

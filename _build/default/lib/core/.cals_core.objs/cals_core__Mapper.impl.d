@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Cals_netlist Cals_util Cover List Partition

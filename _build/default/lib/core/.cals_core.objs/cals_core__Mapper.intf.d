@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Cals_cell Cals_netlist Cals_util Cover Partition

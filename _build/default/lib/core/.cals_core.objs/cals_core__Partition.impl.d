@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Cals_netlist Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Cals_netlist Cals_util

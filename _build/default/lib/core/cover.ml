@@ -1,0 +1,303 @@
+module Geom = Cals_util.Geom
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Cell = Cals_cell.Cell
+module Pattern = Cals_cell.Pattern
+module Library = Cals_cell.Library
+
+type objective =
+  | Min_area
+  | Min_delay of { load_pf : float }
+
+type options = {
+  k : float;
+  objective : objective;
+  distance : Geom.point -> Geom.point -> float;
+  incremental_update : bool;
+  include_wire2 : bool;
+  transitive_wire : bool;
+}
+
+let default_options =
+  {
+    k = 0.0;
+    objective = Min_area;
+    distance = Geom.manhattan;
+    incremental_update = true;
+    include_wire2 = true;
+    transitive_wire = false;
+  }
+
+type solution = {
+  cell : Cell.t;
+  leaves : int array;
+  covered : int list;
+  area_cost : float;
+  wire_cost : float;
+  arrival_ns : float;
+  cost : float;
+  com : Geom.point;
+}
+
+type t = {
+  subject : Subject.t;
+  partition : Partition.t;
+  sols : solution option array;
+  evaluated : int;
+}
+
+(* ---------------- Match enumeration ---------------- *)
+
+(* A candidate is a consistent binding of pattern variables to subject
+   nodes plus the list of base gates the pattern consumes. Internal
+   pattern nodes may only descend along tree-internal edges; leaves bind
+   anywhere (the fanin becomes an input of the cell). *)
+let enumerate_matches subject (partition : Partition.t) pattern v =
+  let gates = subject.Subject.gates in
+  let rec go pattern v bind =
+    match pattern with
+    | Pattern.Var i -> (
+      match List.assoc_opt i bind with
+      | Some u -> if u = v then [ (bind, []) ] else []
+      | None -> [ ((i, v) :: bind, []) ])
+    | Pattern.Inv q -> (
+      match gates.(v) with
+      | Subject.Inv a ->
+        descend q a v bind |> List.map (fun (b, cov) -> (b, v :: cov))
+      | Subject.Pi _ | Subject.Nand2 _ -> [])
+    | Pattern.Nand (q1, q2) -> (
+      match gates.(v) with
+      | Subject.Nand2 (a, b) ->
+        let orient x y =
+          List.concat_map
+            (fun (b1, cov1) ->
+              descend q2 y v b1
+              |> List.map (fun (b2, cov2) -> (b2, (v :: cov1) @ cov2)))
+            (descend q1 x v bind)
+        in
+        if a = b then orient a a else orient a b @ orient b a
+      | Subject.Pi _ | Subject.Inv _ -> [])
+  and descend q child parent bind =
+    match q with
+    | Pattern.Var _ -> go q child bind
+    | Pattern.Inv _ | Pattern.Nand _ ->
+      if partition.Partition.father.(child) = Some parent then go q child bind
+      else []
+  in
+  go pattern v []
+
+(* Wire cost of the Pedram-Bhat-style transitive variant: total original
+   edge length of the full fanin cone below a node. *)
+let tfi_wire subject ~positions ~distance =
+  let n = Subject.num_nodes subject in
+  let memo = Array.make n nan in
+  let rec go v =
+    if memo.(v) = memo.(v) (* not NaN *) then memo.(v)
+    else begin
+      let total =
+        List.fold_left
+          (fun acc c -> acc +. distance positions.(v) positions.(c) +. go c)
+          0.0
+          (Subject.fanins subject.Subject.gates.(v))
+      in
+      memo.(v) <- total;
+      total
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (go v)
+  done;
+  memo
+
+let run subject ~library ~partition ~positions options =
+  let n = Subject.num_nodes subject in
+  let pos_cur = Array.copy positions in
+  let sols : solution option array = Array.make n None in
+  (* Per-node memoized figures for fanin lookups (Eqs. 1 and 3). PIs keep
+     zero cost and their pad position. *)
+  let node_com = Array.copy positions in
+  let node_wire = Array.make n 0.0 in
+  let node_area = Array.make n 0.0 in
+  let node_arrival = Array.make n 0.0 in
+  let tfi =
+    if options.transitive_wire then
+      Some (tfi_wire subject ~positions ~distance:options.distance)
+    else None
+  in
+  let evaluated = ref 0 in
+  let consider v (cell : Cell.t) pattern =
+    let candidates = enumerate_matches subject partition pattern v in
+    List.filter_map
+      (fun (binding, covered) ->
+        incr evaluated;
+        let nvars = Pattern.num_vars pattern in
+        let leaves = Array.make nvars (-1) in
+        List.iter (fun (var, node) -> leaves.(var) <- node) binding;
+        if Array.exists (fun l -> l < 0) leaves then None
+        else begin
+          let area_cost =
+            Array.fold_left
+              (fun acc l -> acc +. node_area.(l))
+              cell.Cell.area leaves
+          in
+          let com =
+            Geom.center_of_mass (List.map (fun u -> pos_cur.(u)) covered)
+          in
+          let wire_cost =
+            match tfi with
+            | Some cone ->
+              (* Charge every leaf at its original position plus its whole
+                 cone: the uncontrolled variant of Section 3.3. *)
+              Array.fold_left
+                (fun acc l -> acc +. options.distance com positions.(l) +. cone.(l))
+                0.0 leaves
+            | None ->
+              let wire1 =
+                Array.fold_left
+                  (fun acc l -> acc +. options.distance com node_com.(l))
+                  0.0 leaves
+              in
+              if options.include_wire2 then
+                Array.fold_left (fun acc l -> acc +. node_wire.(l)) wire1 leaves
+              else wire1
+          in
+          let arrival_ns =
+            let latest =
+              Array.fold_left
+                (fun acc l -> max acc node_arrival.(l))
+                0.0 leaves
+            in
+            let load =
+              match options.objective with
+              | Min_delay { load_pf } -> load_pf
+              | Min_area -> 0.01
+            in
+            latest +. Cell.delay_ns cell ~load_pf:load
+          in
+          let primary =
+            match options.objective with
+            | Min_area -> area_cost
+            | Min_delay _ -> arrival_ns
+          in
+          let cost = primary +. (options.k *. wire_cost) in
+          Some { cell; leaves; covered; area_cost; wire_cost; arrival_ns; cost; com }
+        end)
+      candidates
+  in
+  let is_gate v =
+    match subject.Subject.gates.(v) with
+    | Subject.Pi _ -> false
+    | Subject.Inv _ | Subject.Nand2 _ -> true
+  in
+  for v = 0 to n - 1 do
+    if partition.Partition.live.(v) && is_gate v then begin
+      let best = ref None in
+      List.iter
+        (fun cell ->
+          List.iter
+            (fun pattern ->
+              List.iter
+                (fun sol ->
+                  match !best with
+                  | Some b
+                    when b.cost < sol.cost
+                         || (b.cost = sol.cost && b.area_cost <= sol.area_cost) ->
+                    ()
+                  | Some _ | None -> best := Some sol)
+                (consider v cell pattern))
+            cell.Cell.patterns)
+        (Library.cells library);
+      match !best with
+      | None ->
+        (* Cannot happen: INV and NAND2 always match. *)
+        failwith "Cover.run: no match at a live gate"
+      | Some sol ->
+        sols.(v) <- Some sol;
+        node_com.(v) <- sol.com;
+        node_wire.(v) <- sol.wire_cost;
+        node_area.(v) <- sol.area_cost;
+        node_arrival.(v) <- sol.arrival_ns;
+        if options.incremental_update then
+          List.iter (fun u -> pos_cur.(u) <- sol.com) sol.covered
+    end
+  done;
+  { subject; partition; sols; evaluated = !evaluated }
+
+let solution t v = t.sols.(v)
+let matches_evaluated t = t.evaluated
+
+type extraction = {
+  mapped : Mapped.t;
+  duplicated_gates : int;
+  taps : int;
+}
+
+(* Instantiate cells for all needed signals, memoized per subject node. *)
+let extract_internal t =
+  let memo : (int, Mapped.signal) Hashtbl.t = Hashtbl.create 1024 in
+  let instances = ref [] in
+  let count = ref 0 in
+  let taps = ref 0 in
+  let cover_count = Hashtbl.create 1024 in
+  let rec inst v =
+    match t.subject.Subject.gates.(v) with
+    | Subject.Pi idx -> Mapped.Of_pi idx
+    | Subject.Inv _ | Subject.Nand2 _ -> (
+      match Hashtbl.find_opt memo v with
+      | Some s ->
+        incr taps;
+        s
+      | None ->
+        let sol =
+          match t.sols.(v) with
+          | Some s -> s
+          | None -> failwith "Cover.extract: no solution at needed gate"
+        in
+        let fanins = Array.map inst sol.leaves in
+        let idx = !count in
+        incr count;
+        instances :=
+          { Mapped.cell = sol.cell; fanins; seed = sol.com } :: !instances;
+        List.iter
+          (fun u ->
+            Hashtbl.replace cover_count u
+              (1 + Option.value ~default:0 (Hashtbl.find_opt cover_count u)))
+          sol.covered;
+        let s = Mapped.Of_inst idx in
+        Hashtbl.add memo v s;
+        s)
+  in
+  let outputs =
+    Array.map (fun (name, v) -> (name, inst v)) t.subject.Subject.outputs
+  in
+  let mapped =
+    Mapped.make ~pi_names:t.subject.Subject.pi_names
+      ~instances:(Array.of_list (List.rev !instances))
+      ~outputs
+  in
+  let duplicated =
+    Hashtbl.fold (fun _ c acc -> acc + max 0 (c - 1)) cover_count 0
+  in
+  (mapped, duplicated, !taps, cover_count)
+
+let extract t =
+  let mapped, duplicated_gates, taps, _ = extract_internal t in
+  { mapped; duplicated_gates; taps }
+
+let check_coverage t =
+  let _, _, _, cover_count = extract_internal t in
+  let missing = ref [] in
+  Array.iteri
+    (fun v g ->
+      match g with
+      | Subject.Pi _ -> ()
+      | Subject.Inv _ | Subject.Nand2 _ ->
+        if t.partition.Partition.live.(v) && not (Hashtbl.mem cover_count v) then
+          missing := v :: !missing)
+    t.subject.Subject.gates;
+  match !missing with
+  | [] -> Ok ()
+  | vs ->
+    Error
+      (Printf.sprintf "%d live gates uncovered (first: %d)" (List.length vs)
+         (List.hd (List.rev vs)))

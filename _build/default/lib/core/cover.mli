@@ -1,0 +1,82 @@
+(** Placement-driven tree covering (the paper's Section 3.2).
+
+    Dynamic programming over the partitioned subject graph. The cost of a
+    match [m] at vertex [v] is
+
+    {v COST(m,v) = AREA(m,v) + K * WIRE(m,v)            (Eq. 5) v}
+
+    where [AREA] is the cell area plus the area cost of the fanin covers
+    (Eq. 1), [WIRE1] sums the distances between the match's center of mass
+    and its fanins' centers of mass (Eq. 2), and [WIRE2] adds the fanins'
+    memoized wire costs (Eq. 3). Once a match is selected, the covered base
+    gates' positions collapse to the center of mass (the incremental
+    companion-placement update). With [K = 0] this is classic DAGON
+    min-area covering.
+
+    Instantiation walks the chosen matches from every needed signal
+    (primary-output drivers and cross-tree leaf references); a multi-fanout
+    vertex swallowed inside a match is re-instantiated from its own DP
+    solution, reproducing MIS-style logic duplication. *)
+
+type objective =
+  | Min_area  (** Eq. 1: cell area (the paper's experiments). *)
+  | Min_delay of { load_pf : float }
+      (** Rudell-style constant-load delay covering: the primary figure of
+          merit is the match's worst arrival time, assuming every cell
+          output drives [load_pf]. The paper's prototype supports delay
+          objectives alongside area (Section 4, first paragraph). *)
+
+type options = {
+  k : float;  (** The congestion minimization factor. *)
+  objective : objective;
+  distance : Cals_util.Geom.point -> Cals_util.Geom.point -> float;
+  incremental_update : bool;  (** Center-of-mass position collapsing. *)
+  include_wire2 : bool;  (** Eq. 3 term (off = WIRE1-only ablation). *)
+  transitive_wire : bool;
+      (** Pedram-Bhat-style variant: charge the distance from the match to
+          every base gate of its transitive fanin instead of Eq. 2/3 —
+          implements the comparison of the paper's Section 3.3. *)
+}
+
+val default_options : options
+(** [k = 0], Manhattan distance, incremental updates, WIRE2 on. *)
+
+type solution = {
+  cell : Cals_cell.Cell.t;
+  leaves : int array;  (** Subject node per pattern variable. *)
+  covered : int list;  (** Base gates consumed by the match. *)
+  area_cost : float;
+  wire_cost : float;
+  arrival_ns : float;  (** Constant-load arrival estimate at this output. *)
+  cost : float;
+  com : Cals_util.Geom.point;
+}
+
+type t
+(** Covering state: one chosen solution per live gate. *)
+
+val run :
+  Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  partition:Partition.t ->
+  positions:Cals_util.Geom.point array ->
+  options ->
+  t
+
+val solution : t -> int -> solution option
+(** The chosen match at a live gate ([None] for PIs / dead gates). *)
+
+val matches_evaluated : t -> int
+
+type extraction = {
+  mapped : Cals_netlist.Mapped.t;
+  duplicated_gates : int;
+      (** Base gates materialized more than once (logic duplication). *)
+  taps : int;  (** Cross-tree references served without duplication. *)
+}
+
+val extract : t -> extraction
+(** Instantiate cells for every needed signal. *)
+
+val check_coverage : t -> (unit, string) result
+(** Every live gate must be covered by some instantiated match. *)

@@ -1,0 +1,94 @@
+module Placement = Cals_place.Placement
+module Floorplan = Cals_place.Floorplan
+module Router = Cals_route.Router
+module Congestion = Cals_route.Congestion
+module Mapped = Cals_netlist.Mapped
+
+type iteration = {
+  k : float;
+  cells : int;
+  cell_area : float;
+  utilization : float;
+  hpwl_um : float;
+  report : Congestion.report;
+}
+
+type outcome = {
+  iterations : iteration list;
+  accepted : iteration option;
+  mapped : Mapped.t option;
+  placement : Placement.mapped_placement option;
+  routing : Router.result option;
+}
+
+let default_k_schedule =
+  [ 0.0; 0.0001; 0.00025; 0.0005; 0.00075; 0.001; 0.0025; 0.005; 0.0075; 0.01;
+    0.05; 0.1; 0.5; 1.0 ]
+
+let overflow_report =
+  (* Sentinel for netlists that do not even legalize into the floorplan. *)
+  {
+    Congestion.violations = max_int;
+    total_overflow = infinity;
+    max_utilization = infinity;
+    congested_gcell_fraction = 1.0;
+    wirelength_um = infinity;
+  }
+
+let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
+    ~floorplan ~positions ~k () =
+  let options = { (Mapper.congestion_aware ~k) with strategy } in
+  let result = Mapper.map subject ~library ~positions options in
+  let mapped = result.Mapper.mapped in
+  let cell_area = Mapped.total_area mapped in
+  let utilization = Floorplan.utilization floorplan ~cell_area in
+  match Placement.place_mapped_seeded mapped ~floorplan with
+  | exception Cals_place.Legalize.Overflow _ ->
+    ( {
+        k;
+        cells = Mapped.num_cells mapped;
+        cell_area;
+        utilization;
+        hpwl_um = infinity;
+        report = overflow_report;
+      },
+      (mapped, None, None) )
+  | placement ->
+    let wire = Cals_cell.Library.wire library in
+    let routing =
+      Router.route_mapped ?config:router_config mapped ~floorplan ~wire ~placement
+    in
+    let report = Congestion.of_result routing in
+    ( {
+        k;
+        cells = Mapped.num_cells mapped;
+        cell_area;
+        utilization;
+        hpwl_um = placement.Placement.hpwl;
+        report;
+      },
+      (mapped, Some placement, Some routing) )
+
+let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
+    ~library ~floorplan ~rng () =
+  let positions = Placement.place_subject subject ~floorplan ~rng in
+  let rec loop schedule acc =
+    match schedule with
+    | [] -> { iterations = List.rev acc; accepted = None; mapped = None;
+              placement = None; routing = None }
+    | k :: rest ->
+      let iteration, (mapped, placement, routing) =
+        evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
+          ~positions ~k ()
+      in
+      if Congestion.acceptable iteration.report then
+        {
+          iterations = List.rev (iteration :: acc);
+          accepted = Some iteration;
+          mapped = Some mapped;
+          placement;
+          routing;
+        }
+      else loop rest (iteration :: acc)
+  in
+  loop k_schedule []

@@ -1,0 +1,56 @@
+(** The paper's modified ASIC design flow (Figure 3).
+
+    The technology-independent netlist and its companion placement are
+    produced once; the loop then maps with increasing K, legalizes the
+    mapped netlist from the mapper's seeds, global-routes, and stops at the
+    first K whose congestion map is acceptable. *)
+
+type iteration = {
+  k : float;
+  cells : int;
+  cell_area : float;
+  utilization : float;  (** Of the floorplan core. *)
+  hpwl_um : float;
+  report : Cals_route.Congestion.report;
+}
+
+type outcome = {
+  iterations : iteration list;  (** In schedule order, as executed. *)
+  accepted : iteration option;  (** First acceptable iteration. *)
+  mapped : Cals_netlist.Mapped.t option;  (** Netlist of the accepted K. *)
+  placement : Cals_place.Placement.mapped_placement option;
+  routing : Cals_route.Router.result option;
+}
+
+val default_k_schedule : float list
+(** The paper's Table 2 ladder: 0, 1e-4 ... 1.0. *)
+
+val run :
+  ?k_schedule:float list ->
+  ?router_config:Cals_route.Router.config ->
+  ?strategy:Partition.strategy ->
+  subject:Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  rng:Cals_util.Rng.t ->
+  unit ->
+  outcome
+(** Stops at the first acceptable congestion map. Iterations whose mapped
+    netlist does not even fit the floorplan rows are recorded with an
+    all-violations report and the loop moves on. *)
+
+val evaluate_k :
+  ?router_config:Cals_route.Router.config ->
+  ?strategy:Partition.strategy ->
+  subject:Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  positions:Cals_util.Geom.point array ->
+  k:float ->
+  unit ->
+  iteration
+  * (Cals_netlist.Mapped.t
+    * Cals_place.Placement.mapped_placement option
+    * Cals_route.Router.result option)
+(** One K point against a precomputed companion placement — the primitive
+    the bench tables are built from. *)

@@ -1,0 +1,74 @@
+type options = {
+  k : float;
+  wire_scale : float;
+  objective : Cover.objective;
+  strategy : Partition.strategy;
+  distance : Cals_util.Geom.point -> Cals_util.Geom.point -> float;
+  incremental_update : bool;
+  include_wire2 : bool;
+  transitive_wire : bool;
+}
+
+let default_wire_scale = 200.0
+
+let min_area =
+  {
+    k = 0.0;
+    wire_scale = default_wire_scale;
+    objective = Cover.Min_area;
+    strategy = Partition.Dagon;
+    distance = Cals_util.Geom.manhattan;
+    incremental_update = true;
+    include_wire2 = true;
+    transitive_wire = false;
+  }
+
+let congestion_aware ~k = { min_area with k; strategy = Partition.Pdp }
+
+let min_delay ?(load_pf = 0.02) () =
+  { min_area with objective = Cover.Min_delay { load_pf } }
+
+type stats = {
+  cells : int;
+  cell_area : float;
+  matches_evaluated : int;
+  duplicated_gates : int;
+  taps : int;
+  trees : int;
+}
+
+type result = {
+  mapped : Cals_netlist.Mapped.t;
+  stats : stats;
+  cover : Cover.t;
+  partition : Partition.t;
+}
+
+let map subject ~library ~positions options =
+  let partition =
+    Partition.run options.strategy subject ~positions ~distance:options.distance
+  in
+  let cover_options =
+    {
+      Cover.k = options.k *. options.wire_scale;
+      objective = options.objective;
+      distance = options.distance;
+      incremental_update = options.incremental_update;
+      include_wire2 = options.include_wire2;
+      transitive_wire = options.transitive_wire;
+    }
+  in
+  let cover = Cover.run subject ~library ~partition ~positions cover_options in
+  let extraction = Cover.extract cover in
+  let mapped = extraction.Cover.mapped in
+  let stats =
+    {
+      cells = Cals_netlist.Mapped.num_cells mapped;
+      cell_area = Cals_netlist.Mapped.total_area mapped;
+      matches_evaluated = Cover.matches_evaluated cover;
+      duplicated_gates = extraction.Cover.duplicated_gates;
+      taps = extraction.Cover.taps;
+      trees = List.length partition.Partition.roots;
+    }
+  in
+  { mapped; stats; cover; partition }

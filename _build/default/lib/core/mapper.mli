@@ -1,0 +1,58 @@
+(** Technology-mapping driver: partition, cover, instantiate.
+
+    Bundles the paper's Section 3 pipeline behind one call and reports the
+    statistics the evaluation tables need. *)
+
+type options = {
+  k : float;  (** Congestion minimization factor (Eq. 5). *)
+  wire_scale : float;
+      (** Unit conversion applied to WIRE before multiplying by [k]. The
+          companion placement is in µm; the paper's K ladder (1e-4 .. 1)
+          implies distances in finer database units, so WIRE is scaled by
+          {!default_wire_scale} to make the paper's K values land in the
+          same sensitivity range here. *)
+  objective : Cover.objective;
+  strategy : Partition.strategy;
+  distance : Cals_util.Geom.point -> Cals_util.Geom.point -> float;
+  incremental_update : bool;
+  include_wire2 : bool;
+  transitive_wire : bool;
+}
+
+val default_wire_scale : float
+(** 200. *)
+
+val min_area : options
+(** [k = 0] with DAGON partitioning — the classic baseline mapper. *)
+
+val congestion_aware : k:float -> options
+(** The paper's configuration: PDP partitioning + Eq. 5 covering. *)
+
+val min_delay : ?load_pf:float -> unit -> options
+(** Rudell-style constant-load min-delay covering (default load 0.02 pF);
+    combine with [k] for delay-plus-congestion objectives. *)
+
+type stats = {
+  cells : int;
+  cell_area : float;
+  matches_evaluated : int;
+  duplicated_gates : int;
+  taps : int;
+  trees : int;
+}
+
+type result = {
+  mapped : Cals_netlist.Mapped.t;
+  stats : stats;
+  cover : Cover.t;
+  partition : Partition.t;
+}
+
+val map :
+  Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  positions:Cals_util.Geom.point array ->
+  options ->
+  result
+(** [positions] is the companion placement of the subject graph (one point
+    per subject node, produced once per circuit). *)

@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Int Int64 List Printf String

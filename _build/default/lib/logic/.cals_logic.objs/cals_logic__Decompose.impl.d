@@ -1,0 +1,1 @@
+lib/logic/decompose.ml: Array Cals_netlist Factor Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/logic/decompose.mli: Cals_netlist Network

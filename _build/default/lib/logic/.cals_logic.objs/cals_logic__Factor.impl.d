@@ -1,0 +1,1 @@
+lib/logic/factor.ml: Array Cube Hashtbl Int64 Kernel List Option Printf Sop String

@@ -1,0 +1,1 @@
+lib/logic/kernel.ml: Cube Hashtbl List Sop

@@ -1,0 +1,1 @@
+lib/logic/kernel.mli: Cube Sop

@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Cals_util Cube Hashtbl List Option Printf Sop

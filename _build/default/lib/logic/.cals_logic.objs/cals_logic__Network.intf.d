@@ -1,0 +1,1 @@
+lib/logic/network.mli: Cals_util Hashtbl Sop

@@ -1,0 +1,1 @@
+lib/logic/optimize.ml: Array Cube Hashtbl Kernel List Network Option Sop

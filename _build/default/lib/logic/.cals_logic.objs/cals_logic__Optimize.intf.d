@@ -1,0 +1,1 @@
+lib/logic/optimize.mli: Network

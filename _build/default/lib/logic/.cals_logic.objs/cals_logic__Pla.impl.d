@@ -1,0 +1,1 @@
+lib/logic/pla.ml: Array Buffer Bytes Cube Hashtbl List Network Printf Sop String

@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Cube Int64 List String

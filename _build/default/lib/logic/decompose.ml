@@ -1,0 +1,51 @@
+module Subject = Cals_netlist.Subject
+
+(* Balanced pairwise reduction keeps tree depth logarithmic. *)
+let rec reduce combine = function
+  | [] -> invalid_arg "Decompose.reduce: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: b :: rest -> combine a b :: pair rest
+      | ([ _ ] | []) as tail -> tail
+    in
+    reduce combine (pair xs)
+
+let subject_of_network net =
+  let b = Subject.builder () in
+  let pi_ids =
+    Array.map (fun name -> Subject.add_pi b name) (Network.pi_names net)
+  in
+  let node_ids = Hashtbl.create (Network.num_nodes net) in
+  let signal_id = function
+    | Network.Pi i -> pi_ids.(i)
+    | Network.Node i -> Hashtbl.find node_ids i
+  in
+  let and2 x y = Subject.add_inv b (Subject.add_nand b x y) in
+  let or2 x y = Subject.add_nand b (Subject.add_inv b x) (Subject.add_inv b y) in
+  let build_node i =
+    let n = Network.node net i in
+    let form = Factor.factor n.Network.sop in
+    let rec build = function
+      | Factor.Const v -> Subject.add_const b v
+      | Factor.Lit (v, true) -> signal_id n.Network.fanins.(v)
+      | Factor.Lit (v, false) -> Subject.add_inv b (signal_id n.Network.fanins.(v))
+      | Factor.And fs -> reduce and2 (List.map build fs)
+      | Factor.Or fs -> reduce or2 (List.map build fs)
+    in
+    Hashtbl.replace node_ids i (build form)
+  in
+  List.iter build_node (Network.topo_order net);
+  Array.iter
+    (fun (name, s) -> Subject.set_output b name (signal_id s))
+    (Network.outputs net);
+  Subject.freeze b
+
+let factored_literals net =
+  let live = Network.live_nodes net in
+  let acc = ref 0 in
+  for i = 0 to Network.num_nodes net - 1 do
+    if live.(i) then
+      acc := !acc + Factor.num_literals (Factor.factor (Network.node net i).Network.sop)
+  done;
+  !acc

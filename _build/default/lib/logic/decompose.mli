@@ -1,0 +1,14 @@
+(** Decomposition of a Boolean network into the NAND2/INV subject graph.
+
+    Each node's SOP is first factored ({!Factor.factor}); the factored form
+    is then expanded into balanced trees of base gates. The subject builder
+    strash-shares identical subexpressions, so product terms shared between
+    outputs become multi-fanout base gates — the structure whose
+    partitioning and covering the paper's mapper controls. *)
+
+val subject_of_network : Network.t -> Cals_netlist.Subject.t
+(** Primary inputs and outputs keep their names and order. *)
+
+val factored_literals : Network.t -> int
+(** Total factored-form literal count over live nodes (the area-estimation
+    metric from the paper's Section 1 citations). *)

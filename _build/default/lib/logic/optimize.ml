@@ -1,0 +1,359 @@
+type stats = {
+  live_nodes : int;
+  literals : int;
+}
+
+let stats t =
+  { live_nodes = Network.num_live_nodes t; literals = Network.num_literals t }
+
+(* ------------------------------------------------------------------ *)
+(* Signal-space translation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A divisor candidate lives in "signal space": its cubes are literal sets
+   over network signals rather than over one node's local variables. *)
+
+type slit = Network.signal * bool
+
+let node_cube_to_signals (n : Network.node) c : slit list =
+  List.map (fun (v, ph) -> (n.Network.fanins.(v), ph)) (Cube.literals c)
+
+let canonical_cube (lits : slit list) = List.sort compare lits
+let canonical_sop (cubes : slit list list) = List.sort compare (List.map canonical_cube cubes)
+
+let sop_to_signal_space (n : Network.node) sop =
+  canonical_sop (List.map (node_cube_to_signals n) (Sop.cubes sop))
+
+(* Translate a signal-space divisor into the local space of node [n],
+   returning [None] when some divisor signal is not a fanin of [n]. *)
+let divisor_in_local_space (n : Network.node) (cubes : slit list list) =
+  let pos_of = Hashtbl.create 8 in
+  Array.iteri (fun v s -> if not (Hashtbl.mem pos_of s) then Hashtbl.add pos_of s v) n.Network.fanins;
+  let translate_cube lits =
+    let rec go acc = function
+      | [] -> Some acc
+      | (s, ph) :: rest -> (
+        match Hashtbl.find_opt pos_of s with
+        | Some v -> go ((v, ph) :: acc) rest
+        | None -> None)
+    in
+    (* Aliased fanins can merge or contradict; a contradictory product
+       never divides anything, so reject the candidate here. *)
+    Option.bind (go [] lits) Cube.of_literals_merged
+  in
+  let rec all acc = function
+    | [] -> Some (Sop.of_cubes acc)
+    | c :: rest -> (
+      match translate_cube c with Some cu -> all (cu :: acc) rest | None -> None)
+  in
+  all [] cubes
+
+(* Distinct signals of a signal-space divisor, in deterministic order. *)
+let divisor_signals (cubes : slit list list) =
+  List.sort_uniq compare (List.concat_map (List.map fst) cubes)
+
+(* Build the local SOP of the new divisor node over [divisor_signals]. *)
+let divisor_node_sop (cubes : slit list list) signals =
+  let pos = Hashtbl.create 8 in
+  List.iteri (fun i s -> Hashtbl.add pos s i) signals;
+  Sop.of_cubes
+    (List.filter_map
+       (fun lits ->
+         Cube.of_literals_merged
+           (List.map (fun (s, ph) -> (Hashtbl.find pos s, ph)) lits))
+       cubes)
+
+(* Literals saved by rewriting node [f] with divisor [d] (trial division;
+   0 when the divisor does not divide). *)
+let node_savings (n : Network.node) d_local =
+  let f = n.Network.sop in
+  let q, r = Sop.divide f d_local in
+  if Sop.is_zero q then 0
+  else
+    let before = Sop.num_literals f in
+    let after = Sop.num_literals q + Sop.num_cubes q + Sop.num_literals r in
+    before - after
+
+(* Rewrite node [n]: f = q * x_new + r. Returns true when applied. *)
+let rewrite_with_divisor t node_id (cubes : slit list list) new_node =
+  let n = Network.node t node_id in
+  match divisor_in_local_space n cubes with
+  | None -> false
+  | Some d_local ->
+    let q, r = Sop.divide n.Network.sop d_local in
+    if Sop.is_zero q then false
+    else begin
+      let nf = Array.length n.Network.fanins in
+      if nf >= Cube.max_vars then false
+      else begin
+        n.Network.fanins <-
+          Array.append n.Network.fanins [| Network.Node new_node |];
+        n.Network.sop <- Sop.sum (Sop.product q (Sop.var nf)) r;
+        Network.normalize_fanins t node_id;
+        true
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Candidate collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = {
+  cubes : slit list list;  (** Canonical signal-space divisor. *)
+  mutable hits : int;  (** Cheap occurrence count from collection. *)
+  mutable value : int;
+  mutable users : int list;  (** Node ids where it divides. *)
+}
+
+let evaluate_candidate t cand =
+  let signals = divisor_signals cand.cubes in
+  let body = divisor_node_sop cand.cubes signals in
+  let overhead = Sop.num_literals body + 1 in
+  let value = ref (-overhead) in
+  let users = ref [] in
+  let live = Network.live_nodes t in
+  for i = 0 to Network.num_nodes t - 1 do
+    if live.(i) then begin
+      let n = Network.node t i in
+      match divisor_in_local_space n cand.cubes with
+      | None -> ()
+      | Some d_local ->
+        let s = node_savings n d_local in
+        if s > 0 then begin
+          value := !value + s;
+          users := i :: !users
+        end
+    end
+  done;
+  cand.value <- !value;
+  cand.users <- !users
+
+let materialize t cand =
+  let signals = divisor_signals cand.cubes in
+  let body = divisor_node_sop cand.cubes signals in
+  let new_node = Network.add_node t (Array.of_list signals) body in
+  let applied =
+    List.fold_left
+      (fun acc i -> if rewrite_with_divisor t i cand.cubes new_node then acc + 1 else acc)
+      0 cand.users
+  in
+  applied > 0
+
+(* ------------------------------------------------------------------ *)
+(* Cube extraction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cube_candidates t =
+  let tbl : (slit list, candidate) Hashtbl.t = Hashtbl.create 256 in
+  let register lits =
+    if List.length lits >= 2 then begin
+      let key = canonical_cube lits in
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c.hits <- c.hits + 1
+      | None -> Hashtbl.add tbl key { cubes = [ key ]; hits = 1; value = 0; users = [] }
+    end
+  in
+  let live = Network.live_nodes t in
+  for i = 0 to Network.num_nodes t - 1 do
+    if live.(i) then begin
+      let n = Network.node t i in
+      let cubes = Array.of_list (Sop.cubes n.Network.sop) in
+      (* Identical full cubes across nodes. *)
+      Array.iter (fun c -> register (node_cube_to_signals n c)) cubes;
+      (* Pairwise intersections within a node, capped for speed. *)
+      let cap = min (Array.length cubes) 30 in
+      for a = 0 to cap - 1 do
+        for b = a + 1 to cap - 1 do
+          let common = Cube.common cubes.(a) cubes.(b) in
+          if Cube.num_literals common >= 2 then
+            register (node_cube_to_signals n common)
+        done
+      done
+    end
+  done;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+
+(* Exact evaluation is expensive (trial division against every node), so
+   rank candidates by a cheap score first and only evaluate the best few. *)
+let best_candidate ?(exact_budget = 48) t cands =
+  let cheap c =
+    let lits = List.fold_left (fun acc cu -> acc + List.length cu) 0 c.cubes in
+    c.hits * (lits - 1)
+  in
+  let ranked = List.sort (fun a b -> compare (cheap b) (cheap a)) cands in
+  let shortlist = List.filteri (fun i _ -> i < exact_budget) ranked in
+  List.iter (evaluate_candidate t) shortlist;
+  List.fold_left
+    (fun best c ->
+      match best with
+      | Some b when b.value >= c.value -> best
+      | Some _ | None -> if c.value > 0 && List.length c.users >= 1 then Some c else best)
+    None shortlist
+
+let extract_common_cubes ?(max_rounds = 64) t =
+  let rec go round created =
+    if round >= max_rounds then created
+    else
+      match best_candidate t (cube_candidates t) with
+      | None -> created
+      | Some c -> if materialize t c then go (round + 1) (created + 1) else created
+  in
+  let n = go 0 0 in
+  Network.sweep t;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Kernel extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_candidates ~max_node_cubes t =
+  let tbl : (slit list list, candidate) Hashtbl.t = Hashtbl.create 256 in
+  let live = Network.live_nodes t in
+  for i = 0 to Network.num_nodes t - 1 do
+    if live.(i) then begin
+      let n = Network.node t i in
+      if Sop.num_cubes n.Network.sop <= max_node_cubes then
+        List.iter
+          (fun k ->
+            let kern = k.Kernel.kernel in
+            if Sop.num_cubes kern >= 2 && Sop.num_cubes kern <= 12 then begin
+              let key = sop_to_signal_space n kern in
+              match Hashtbl.find_opt tbl key with
+              | Some c -> c.hits <- c.hits + 1
+              | None ->
+                Hashtbl.add tbl key { cubes = key; hits = 1; value = 0; users = [] }
+            end)
+          (Kernel.all n.Network.sop)
+    end
+  done;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+
+let extract_kernels ?(max_rounds = 64) ?(max_node_cubes = 40) t =
+  let rec go round created =
+    if round >= max_rounds then created
+    else
+      match best_candidate t (kernel_candidates ~max_node_cubes t) with
+      | None -> created
+      | Some c -> if materialize t c then go (round + 1) (created + 1) else created
+  in
+  let n = go 0 0 in
+  Network.sweep t;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Eliminate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eliminate ?(value_threshold = 0) t =
+  let eliminated = ref 0 in
+  let fanouts = Network.fanout_table t in
+  let po_refs = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, s) ->
+      match s with
+      | Network.Node i ->
+        Hashtbl.replace po_refs i (1 + Option.value ~default:0 (Hashtbl.find_opt po_refs i))
+      | Network.Pi _ -> ())
+    (Network.outputs t);
+  let order = Network.topo_order t in
+  let try_eliminate i =
+    let n = Network.node t i in
+    let consumers = Option.value ~default:[] (Hashtbl.find_opt fanouts i) in
+    let pos = Option.value ~default:0 (Hashtbl.find_opt po_refs i) in
+    if pos > 0 || consumers = [] then ()
+    else begin
+      let lits = Sop.num_literals n.Network.sop in
+      let refs = List.length consumers in
+      (* Extra literals created by collapsing into every consumer. *)
+      let value = ((refs - 1) * lits) - refs in
+      if value <= value_threshold then begin
+        (* Substitute into each consumer; only commit when all succeed so
+           the node can be swept afterwards. *)
+        let plan =
+          List.map
+            (fun c_id ->
+              let c = Network.node t c_id in
+              (* Find the local var reading node i. *)
+              let var = ref (-1) in
+              Array.iteri
+                (fun v s -> if s = Network.Node i && !var < 0 then var := v)
+                c.Network.fanins;
+              (c_id, c, !var))
+            (List.sort_uniq compare consumers)
+        in
+        let feasible =
+          List.for_all
+            (fun (_, c, var) ->
+              var >= 0
+              &&
+              (* Bring node i's fanins into c's space (appending missing). *)
+              let extra =
+                Array.to_list n.Network.fanins
+                |> List.filter (fun s -> not (Array.exists (( = ) s) c.Network.fanins))
+                |> List.length
+              in
+              Array.length c.Network.fanins + extra < Cube.max_vars
+              &&
+              let pos_of = Hashtbl.create 8 in
+              Array.iteri
+                (fun v s -> if not (Hashtbl.mem pos_of s) then Hashtbl.add pos_of s v)
+                c.Network.fanins;
+              let next = ref (Array.length c.Network.fanins) in
+              Array.iter
+                (fun s ->
+                  if not (Hashtbl.mem pos_of s) then begin
+                    Hashtbl.add pos_of s !next;
+                    incr next
+                  end)
+                n.Network.fanins;
+              let g =
+                Sop.map_vars
+                  (fun v -> Hashtbl.find pos_of n.Network.fanins.(v))
+                  n.Network.sop
+              in
+              Sop.can_substitute c.Network.sop var g)
+            plan
+        in
+        if feasible then begin
+          List.iter
+            (fun (c_id, c, var) ->
+              let missing =
+                Array.to_list n.Network.fanins
+                |> List.filter (fun s -> not (Array.exists (( = ) s) c.Network.fanins))
+              in
+              c.Network.fanins <- Array.append c.Network.fanins (Array.of_list missing);
+              let pos_of = Hashtbl.create 8 in
+              Array.iteri
+                (fun v s -> if not (Hashtbl.mem pos_of s) then Hashtbl.add pos_of s v)
+                c.Network.fanins;
+              let g =
+                Sop.map_vars
+                  (fun v -> Hashtbl.find pos_of n.Network.fanins.(v))
+                  n.Network.sop
+              in
+              c.Network.sop <- Sop.substitute c.Network.sop var g;
+              Network.normalize_fanins t c_id)
+            plan;
+          incr eliminated
+        end
+      end
+    end
+  in
+  List.iter try_eliminate order;
+  Network.sweep t;
+  !eliminated
+
+(* ------------------------------------------------------------------ *)
+(* Scripts                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let script_area ?(rounds = 2) t =
+  Network.sweep t;
+  for _ = 1 to rounds do
+    ignore (extract_common_cubes t);
+    ignore (extract_kernels t);
+    ignore (eliminate ~value_threshold:0 t)
+  done;
+  Network.sweep t
+
+let script_light t = Network.sweep t

@@ -1,0 +1,41 @@
+(** Technology-independent optimization (the "SIS" role in the paper).
+
+    The passes minimize the factored-literal count of the network by
+    algebraic restructuring: shared-divisor extraction (kernels and common
+    cubes) plus node elimination. The paper's premise is that this
+    unrestrained sharing, while optimal for cell area, creates high-fanout
+    structure that congests routing — so this module is both a substrate
+    (front end of every flow) and the "SIS" comparison subject of Tables
+    1-5. *)
+
+type stats = {
+  live_nodes : int;
+  literals : int;
+}
+
+val stats : Network.t -> stats
+
+val eliminate : ?value_threshold:int -> Network.t -> int
+(** Collapse nodes whose elimination "value" (extra literals created by
+    collapsing) is at most the threshold (default 0) into their consumers.
+    Returns the number of nodes eliminated. *)
+
+val extract_common_cubes : ?max_rounds:int -> Network.t -> int
+(** Repeatedly extract the best-value common cube as a new AND node.
+    Considers both identical cubes shared across nodes (PLA product terms)
+    and pairwise cube intersections within a node. Returns the number of
+    divisor nodes created. *)
+
+val extract_kernels : ?max_rounds:int -> ?max_node_cubes:int -> Network.t -> int
+(** Repeatedly extract the best-value multi-cube kernel as a new node.
+    Nodes with more than [max_node_cubes] cubes (default 40) are skipped as
+    kernel sources (but still rewritten as uses). Returns the number of
+    divisor nodes created. *)
+
+val script_area : ?rounds:int -> Network.t -> unit
+(** The aggressive area script: sweep, then alternate cube and kernel
+    extraction with elimination, then sweep. Mirrors a SIS
+    [script.algebraic] run in spirit. *)
+
+val script_light : Network.t -> unit
+(** Sweep only — the front end used for the "DAGON" baseline netlists. *)

@@ -1,0 +1,1 @@
+lib/netlist/mapped.ml: Array Buffer Cals_cell Cals_util Hashtbl List Option Printf String

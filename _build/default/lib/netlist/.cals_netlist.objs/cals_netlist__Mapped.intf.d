@@ -1,0 +1,1 @@
+lib/netlist/mapped.mli: Cals_cell Cals_util

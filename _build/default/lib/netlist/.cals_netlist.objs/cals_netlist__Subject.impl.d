@@ -1,0 +1,1 @@
+lib/netlist/subject.ml: Array Cals_util Hashtbl Int64 List

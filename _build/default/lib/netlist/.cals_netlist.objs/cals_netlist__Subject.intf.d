@@ -1,0 +1,1 @@
+lib/netlist/subject.mli: Cals_util

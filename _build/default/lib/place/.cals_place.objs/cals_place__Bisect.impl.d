@@ -1,0 +1,1 @@
+lib/place/bisect.ml: Array Cals_util Floorplan Fm Hashtbl Hypergraph List

@@ -1,0 +1,1 @@
+lib/place/bisect.mli: Cals_util Floorplan Hypergraph

@@ -1,0 +1,1 @@
+lib/place/def.ml: Array Buffer Cals_cell Cals_netlist Cals_util Float Floorplan List Placement Printf

@@ -1,0 +1,1 @@
+lib/place/def.mli: Cals_netlist Floorplan Placement

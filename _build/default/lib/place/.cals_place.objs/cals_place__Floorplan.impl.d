@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Array Cals_cell Cals_util Printf

@@ -1,0 +1,1 @@
+lib/place/floorplan.mli: Cals_cell Cals_util

@@ -1,0 +1,1 @@
+lib/place/hypergraph.ml: Array Cals_cell Cals_netlist Cals_util Floorplan List

@@ -1,0 +1,1 @@
+lib/place/hypergraph.mli: Cals_netlist Cals_util Floorplan

@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Cals_util Floorplan List Printf

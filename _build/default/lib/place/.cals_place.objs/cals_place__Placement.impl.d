@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Bisect Cals_netlist Cals_util Hypergraph Legalize

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Cals_netlist Cals_util Floorplan

@@ -1,0 +1,1 @@
+lib/place/refine.mli: Cals_util Hypergraph

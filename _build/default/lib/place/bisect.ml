@@ -1,0 +1,145 @@
+module Geom = Cals_util.Geom
+
+let leaf_size = 4
+
+let place (hg : Hypergraph.t) ~floorplan ~rng =
+  let n = Hypergraph.num_nodes hg in
+  let pos = Array.make n (Geom.point 0.0 0.0) in
+  let center =
+    Geom.point (floorplan.Floorplan.die_width /. 2.0)
+      (floorplan.Floorplan.die_height /. 2.0)
+  in
+  Array.iteri
+    (fun i f -> pos.(i) <- (match f with Some p -> p | None -> center))
+    hg.Hypergraph.fixed;
+  (* Spread the nodes of a leaf region on a local grid. *)
+  let distribute nodes (box : Geom.bbox) =
+    match nodes with
+    | [] -> ()
+    | _ ->
+      let k = List.length nodes in
+      let cols = int_of_float (ceil (sqrt (float_of_int k))) in
+      let rows = (k + cols - 1) / cols in
+      let w = (box.Geom.hx -. box.Geom.lx) /. float_of_int cols in
+      let h = (box.Geom.hy -. box.Geom.ly) /. float_of_int rows in
+      List.iteri
+        (fun i v ->
+          let c = i mod cols and r = i / cols in
+          pos.(v) <-
+            Geom.point
+              (box.Geom.lx +. ((float_of_int c +. 0.5) *. w))
+              (box.Geom.ly +. ((float_of_int r +. 0.5) *. h)))
+        nodes
+  in
+  let in_region = Array.make n false in
+  (* [nets] passed down: ids of hypergraph nets with >= 1 pin in region. *)
+  let rec split nodes net_ids (box : Geom.bbox) depth =
+    if List.length nodes <= leaf_size || depth > 40 then distribute nodes box
+    else begin
+      let vertical_cut = box.Geom.hx -. box.Geom.lx >= box.Geom.hy -. box.Geom.ly in
+      let mid =
+        if vertical_cut then (box.Geom.lx +. box.Geom.hx) /. 2.0
+        else (box.Geom.ly +. box.Geom.hy) /. 2.0
+      in
+      List.iter (fun v -> in_region.(v) <- true) nodes;
+      (* Local ids: region nodes then two anchors. *)
+      let node_arr = Array.of_list nodes in
+      let local_of = Hashtbl.create (Array.length node_arr) in
+      Array.iteri (fun li v -> Hashtbl.add local_of v li) node_arr;
+      let k = Array.length node_arr in
+      let anchor0 = k and anchor1 = k + 1 in
+      let local_nets = ref [] in
+      let surviving = ref [] in
+      List.iter
+        (fun ni ->
+          let net = hg.Hypergraph.nets.(ni) in
+          let locals = ref [] and ext0 = ref false and ext1 = ref false in
+          Array.iter
+            (fun v ->
+              if in_region.(v) then locals := Hashtbl.find local_of v :: !locals
+              else begin
+                let coord =
+                  if vertical_cut then pos.(v).Geom.x else pos.(v).Geom.y
+                in
+                if coord <= mid then ext0 := true else ext1 := true
+              end)
+            net;
+          match !locals with
+          | [] -> ()
+          | locals_list ->
+            surviving := ni :: !surviving;
+            let pins = locals_list in
+            let pins = if !ext0 then anchor0 :: pins else pins in
+            let pins = if !ext1 then anchor1 :: pins else pins in
+            if List.length pins >= 2 then
+              local_nets := Array.of_list pins :: !local_nets)
+        net_ids;
+      let weights = Array.make (k + 2) 0 in
+      Array.iteri
+        (fun li v -> weights.(li) <- max 1 hg.Hypergraph.weights.(v))
+        node_arr;
+      let locked = Array.make (k + 2) None in
+      locked.(anchor0) <- Some 0;
+      locked.(anchor1) <- Some 1;
+      let problem =
+        { Fm.weights; nets = Array.of_list !local_nets; locked }
+      in
+      let side = Fm.bipartition ~rng problem in
+      List.iter (fun v -> in_region.(v) <- false) nodes;
+      (* Cut position proportional to the side weights. *)
+      let w0 = ref 0 and w1 = ref 0 in
+      Array.iteri
+        (fun li v ->
+          ignore v;
+          if side.(li) = 0 then w0 := !w0 + weights.(li) else w1 := !w1 + weights.(li))
+        node_arr;
+      let frac =
+        let total = !w0 + !w1 in
+        if total = 0 then 0.5 else float_of_int !w0 /. float_of_int total
+      in
+      let frac = Geom.clamp 0.1 0.9 frac in
+      let box0, box1 =
+        if vertical_cut then begin
+          let cut = box.Geom.lx +. (frac *. (box.Geom.hx -. box.Geom.lx)) in
+          ( { box with Geom.hx = cut }, { box with Geom.lx = cut } )
+        end
+        else begin
+          let cut = box.Geom.ly +. (frac *. (box.Geom.hy -. box.Geom.ly)) in
+          ( { box with Geom.hy = cut }, { box with Geom.ly = cut } )
+        end
+      in
+      let nodes0 = ref [] and nodes1 = ref [] in
+      Array.iteri
+        (fun li v ->
+          if side.(li) = 0 then nodes0 := v :: !nodes0 else nodes1 := v :: !nodes1)
+        node_arr;
+      (* Update positions to sub-region centers for terminal propagation
+         deeper in the recursion. *)
+      let c0 =
+        Geom.point ((box0.Geom.lx +. box0.Geom.hx) /. 2.0)
+          ((box0.Geom.ly +. box0.Geom.hy) /. 2.0)
+      and c1 =
+        Geom.point ((box1.Geom.lx +. box1.Geom.hx) /. 2.0)
+          ((box1.Geom.ly +. box1.Geom.hy) /. 2.0)
+      in
+      List.iter (fun v -> pos.(v) <- c0) !nodes0;
+      List.iter (fun v -> pos.(v) <- c1) !nodes1;
+      split !nodes0 !surviving box0 (depth + 1);
+      split !nodes1 !surviving box1 (depth + 1)
+    end
+  in
+  let movables = ref [] in
+  for i = n - 1 downto 0 do
+    if hg.Hypergraph.fixed.(i) = None then movables := i :: !movables
+  done;
+  let all_nets = List.init (Array.length hg.Hypergraph.nets) (fun i -> i) in
+  let die_box =
+    {
+      Geom.lx = 0.0;
+      ly = 0.0;
+      hx = floorplan.Floorplan.die_width;
+      hy = floorplan.Floorplan.die_height;
+    }
+  in
+  split !movables all_nets die_box 0;
+  pos

@@ -1,0 +1,86 @@
+module Geom = Cals_util.Geom
+module Mapped = Cals_netlist.Mapped
+
+let dbu = 1000.0
+let to_dbu x = int_of_float (Float.round (x *. dbu))
+
+let print ?(design = "mapped") mapped ~floorplan
+    ~(placement : Placement.mapped_placement) =
+  let fp = floorplan in
+  let buf = Buffer.create 16384 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n";
+  addf "DESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n" design (int_of_float dbu);
+  addf "DIEAREA ( 0 0 ) ( %d %d ) ;\n"
+    (to_dbu fp.Floorplan.die_width)
+    (to_dbu fp.Floorplan.die_height);
+  for r = 0 to fp.Floorplan.num_rows - 1 do
+    addf "ROW core_%d CoreSite 0 %d N DO %d BY 1 STEP %d 0 ;\n" r
+      (to_dbu (float_of_int r *. fp.Floorplan.row_height))
+      fp.Floorplan.sites_per_row
+      (to_dbu fp.Floorplan.site_width)
+  done;
+  let n_cells = Array.length mapped.Mapped.instances in
+  addf "COMPONENTS %d ;\n" n_cells;
+  Array.iteri
+    (fun i inst ->
+      let p = placement.Placement.cell_pos.(i) in
+      (* DEF placements are lower-left corners. *)
+      let w =
+        float_of_int inst.Mapped.cell.Cals_cell.Cell.width_sites
+        *. fp.Floorplan.site_width
+      in
+      addf "- u%d %s + PLACED ( %d %d ) N ;\n" i
+        inst.Mapped.cell.Cals_cell.Cell.name
+        (to_dbu (p.Geom.x -. (w /. 2.0)))
+        (to_dbu (p.Geom.y -. (fp.Floorplan.row_height /. 2.0))))
+    mapped.Mapped.instances;
+  addf "END COMPONENTS\n";
+  let n_pins =
+    Array.length mapped.Mapped.pi_names + Array.length mapped.Mapped.outputs
+  in
+  addf "PINS %d ;\n" n_pins;
+  Array.iteri
+    (fun i name ->
+      let p = placement.Placement.pi_pos.(i) in
+      addf "- %s + NET %s + DIRECTION INPUT + PLACED ( %d %d ) N ;\n" name name
+        (to_dbu p.Geom.x) (to_dbu p.Geom.y))
+    mapped.Mapped.pi_names;
+  Array.iteri
+    (fun i (name, _) ->
+      let p = placement.Placement.po_pos.(i) in
+      addf "- %s + NET %s + DIRECTION OUTPUT + PLACED ( %d %d ) N ;\n" name name
+        (to_dbu p.Geom.x) (to_dbu p.Geom.y))
+    mapped.Mapped.outputs;
+  addf "END PINS\n";
+  let nets = Mapped.nets mapped in
+  let live_nets =
+    Array.to_list nets |> List.filter (fun n -> n.Mapped.sinks <> [])
+  in
+  addf "NETS %d ;\n" (List.length live_nets);
+  let pin_names = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+  List.iter
+    (fun net ->
+      let name, driver_term =
+        match net.Mapped.driver with
+        | Mapped.Of_pi i ->
+          (mapped.Mapped.pi_names.(i),
+           Printf.sprintf "( PIN %s )" mapped.Mapped.pi_names.(i))
+        | Mapped.Of_inst i -> (Printf.sprintf "n%d" i, Printf.sprintf "( u%d y )" i)
+      in
+      addf "- %s %s" name driver_term;
+      List.iter
+        (fun sink ->
+          match sink with
+          | Mapped.Cell_pin (i, pin) -> addf " ( u%d %s )" i pin_names.(pin)
+          | Mapped.Po oi -> addf " ( PIN %s )" (fst mapped.Mapped.outputs.(oi)))
+        net.Mapped.sinks;
+      addf " ;\n")
+    live_nets;
+  addf "END NETS\nEND DESIGN\n";
+  Buffer.contents buf
+
+let write_file ?design path mapped ~floorplan ~placement =
+  let oc = open_out path in
+  output_string oc (print ?design mapped ~floorplan ~placement);
+  close_out oc

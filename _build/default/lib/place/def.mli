@@ -1,0 +1,20 @@
+(** DEF (Design Exchange Format) export of a placed mapped netlist.
+
+    Emits the subset other physical-design tools read: DIEAREA, ROW
+    statements, placed COMPONENTS, PINS on the pad ring and NETS. Distances
+    use the conventional 1000 database units per micron. *)
+
+val print :
+  ?design:string ->
+  Cals_netlist.Mapped.t ->
+  floorplan:Floorplan.t ->
+  placement:Placement.mapped_placement ->
+  string
+
+val write_file :
+  ?design:string ->
+  string ->
+  Cals_netlist.Mapped.t ->
+  floorplan:Floorplan.t ->
+  placement:Placement.mapped_placement ->
+  unit

@@ -1,0 +1,25 @@
+(** Fiduccia-Mattheyses hypergraph bipartitioning with gain buckets.
+
+    The engine behind recursive-bisection global placement. Nodes may be
+    pre-locked to a side (terminal propagation anchors); the pass loop
+    keeps the weight balance within a tolerance and reverts to the best
+    prefix of each pass. *)
+
+type problem = {
+  weights : int array;
+  nets : int array array;
+  locked : int option array;  (** [Some side] pins the node to side 0/1. *)
+}
+
+val bipartition :
+  ?max_passes:int ->
+  ?balance_tolerance:float ->
+  rng:Cals_util.Rng.t ->
+  problem ->
+  int array
+(** Returns the side (0 or 1) of every node. [balance_tolerance] is the
+    allowed deviation of either side from half the total weight (default
+    0.1, i.e. 40/60 splits are acceptable). *)
+
+val cut_size : problem -> int array -> int
+(** Number of nets with pins on both sides. *)

@@ -1,0 +1,23 @@
+(** Tetris-style legalization of cells onto standard-cell rows.
+
+    Cells are processed left to right; each picks the row minimizing its
+    displacement and is packed after that row's current frontier, so the
+    result is overlap-free and row-aligned by construction. *)
+
+exception Overflow of string
+(** Raised when some cell fits in no row (the floorplan is too small). *)
+
+type result = {
+  positions : Cals_util.Geom.point array;  (** Cell centers. *)
+  total_displacement : float;  (** Manhattan movement from desired. *)
+  row_fill : int array;  (** Occupied sites per row. *)
+}
+
+val run :
+  floorplan:Floorplan.t ->
+  widths:int array ->
+  desired:Cals_util.Geom.point array ->
+  movable:bool array ->
+  result
+(** [widths] is in sites per cell; zero-width entries are skipped.
+    Non-movable entries keep their desired position (pads). *)

@@ -1,0 +1,42 @@
+(** Placement orchestration for the two netlist flavours the flow places.
+
+    - the technology-independent subject graph is placed once per circuit
+      (the paper's companion placement; positions feed the mapper's wire
+      cost), and
+    - each mapped netlist is legalized from the mapper's center-of-mass
+      seeds (the incremental-placement aspect of the methodology), with a
+      from-scratch global placement available for comparison. *)
+
+type mapped_placement = {
+  cell_pos : Cals_util.Geom.point array;  (** Per instance. *)
+  pi_pos : Cals_util.Geom.point array;
+  po_pos : Cals_util.Geom.point array;
+  hpwl : float;
+  row_fill : int array;
+}
+
+val place_subject :
+  Cals_netlist.Subject.t ->
+  floorplan:Floorplan.t ->
+  rng:Cals_util.Rng.t ->
+  Cals_util.Geom.point array
+(** Companion placement: a position for every subject node (PIs at pads,
+    gates by recursive bisection). Continuous coordinates — base gates are
+    abstract and uniform, as in the paper. *)
+
+val place_mapped_seeded :
+  Cals_netlist.Mapped.t -> floorplan:Floorplan.t -> mapped_placement
+(** Legalize the mapper's seed positions onto rows. Raises
+    {!Legalize.Overflow} when the netlist does not fit. *)
+
+val place_mapped_global :
+  Cals_netlist.Mapped.t ->
+  floorplan:Floorplan.t ->
+  rng:Cals_util.Rng.t ->
+  mapped_placement
+(** Full recursive-bisection placement ignoring seeds (ablation and the
+    from-scratch "SIS" flow). *)
+
+val mapped_hpwl :
+  Cals_netlist.Mapped.t -> floorplan:Floorplan.t -> cell_pos:Cals_util.Geom.point array -> float
+(** HPWL of a mapped netlist under arbitrary cell positions. *)

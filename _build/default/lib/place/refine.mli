@@ -1,0 +1,25 @@
+(** Greedy detailed-placement refinement.
+
+    After legalization, repeatedly swap pairs of same-width cells (and
+    slide cells into row gaps) when the move reduces total half-perimeter
+    wirelength. Cheap, local, and optional — the flow uses it to polish the
+    seeded placement before routing when asked to. *)
+
+type stats = {
+  swaps : int;
+  passes : int;
+  hpwl_before : float;
+  hpwl_after : float;
+}
+
+val run :
+  ?max_passes:int ->
+  hypergraph:Hypergraph.t ->
+  positions:Cals_util.Geom.point array ->
+  widths:int array ->
+  unit ->
+  stats
+(** Mutates [positions] in place (movable nodes only — fixed nodes per the
+    hypergraph stay put). Candidate swaps are cells adjacent in net
+    neighbourhoods; only strictly improving swaps are taken, so HPWL is
+    non-increasing. Default [max_passes] is 3. *)

@@ -1,0 +1,1 @@
+lib/route/congestion.ml: Cals_util Printf Rgrid Router

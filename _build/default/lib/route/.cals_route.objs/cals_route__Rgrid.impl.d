@@ -1,0 +1,1 @@
+lib/route/rgrid.ml: Array Cals_cell Cals_place Cals_util

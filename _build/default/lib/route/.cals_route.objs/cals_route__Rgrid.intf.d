@@ -1,0 +1,1 @@
+lib/route/rgrid.mli: Cals_cell Cals_place Cals_util

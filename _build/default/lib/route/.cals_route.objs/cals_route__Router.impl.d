@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Cals_cell Cals_netlist Cals_place Cals_util Hashtbl List Rgrid Topology

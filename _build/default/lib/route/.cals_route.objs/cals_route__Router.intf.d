@@ -1,0 +1,1 @@
+lib/route/router.mli: Cals_cell Cals_netlist Cals_place Cals_util Rgrid

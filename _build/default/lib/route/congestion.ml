@@ -1,0 +1,41 @@
+type report = {
+  violations : int;
+  total_overflow : float;
+  max_utilization : float;
+  congested_gcell_fraction : float;
+  wirelength_um : float;
+}
+
+let hot_threshold = 0.95
+
+let of_result (r : Router.result) =
+  let map = Rgrid.congestion_map r.Router.grid in
+  let hot, total =
+    Cals_util.Grid2d.fold
+      (fun _ _ v (hot, total) ->
+        ((if v > hot_threshold then hot + 1 else hot), total + 1))
+      map (0, 0)
+  in
+  {
+    violations = r.Router.violations;
+    total_overflow = r.Router.total_overflow;
+    max_utilization = r.Router.max_utilization;
+    congested_gcell_fraction = float_of_int hot /. float_of_int (max 1 total);
+    wirelength_um = r.Router.wirelength_um;
+  }
+
+(* The paper's criterion is routability: Silicon Ensemble reports zero
+   violations. The hot-gcell fraction stays informational — with the
+   density-coupled capacity model many gcells legitimately sit just under
+   capacity. *)
+let acceptable r = r.violations = 0
+
+let ascii_map (r : Router.result) =
+  Cals_util.Grid2d.render_ascii (Rgrid.congestion_map r.Router.grid)
+
+let summary r =
+  Printf.sprintf
+    "violations=%d overflow=%.1f max_util=%.2f hot_gcells=%.1f%% wirelength=%.0fum"
+    r.violations r.total_overflow r.max_utilization
+    (100.0 *. r.congested_gcell_fraction)
+    r.wirelength_um

@@ -1,0 +1,24 @@
+(** Congestion evaluation and reporting — the "congestion map" the paper's
+    methodology loop (Figure 3) inspects before deciding whether to raise
+    the congestion factor K. *)
+
+type report = {
+  violations : int;
+  total_overflow : float;
+  max_utilization : float;
+  congested_gcell_fraction : float;  (** Gcells above the hot threshold. *)
+  wirelength_um : float;
+}
+
+val hot_threshold : float
+(** Utilization above which a gcell counts as congested (0.95). *)
+
+val of_result : Router.result -> report
+
+val acceptable : report -> bool
+(** The Figure-3 predicate: fully routable (zero violations). *)
+
+val ascii_map : Router.result -> string
+(** Heat map of gcell utilization, rows printed top-down. *)
+
+val summary : report -> string

@@ -1,0 +1,172 @@
+module Geom = Cals_util.Geom
+module Floorplan = Cals_place.Floorplan
+
+type t = {
+  cols : int;
+  rows : int;
+  gcell_um : float;
+  hcap : float array;
+  vcap : float array;
+  husage : float array;
+  vusage : float array;
+  hhistory : float array;
+  vhistory : float array;
+}
+
+type edge =
+  | H of int * int
+  | V of int * int
+
+let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
+    () =
+  if layers < 2 then invalid_arg "Rgrid.create: need at least 2 metal layers";
+  let gcell_um = float_of_int gcell_rows *. floorplan.Floorplan.row_height in
+  let cols =
+    max 2 (int_of_float (ceil (floorplan.Floorplan.die_width /. gcell_um)))
+  in
+  let rows =
+    max 2 (int_of_float (ceil (floorplan.Floorplan.die_height /. gcell_um)))
+  in
+  let tracks = gcell_um /. wire.Cals_cell.Library.pitch_um in
+  (* Layers above M1 alternate directions and contribute their full track
+     count; M1 contributes what the standard cells leave over, so local
+     placement density directly eats routing capacity — the mechanism by
+     which a cell-area penalty "limits the amount of available wiring
+     resources" (paper, Section 4). *)
+  let n_routing = layers - 1 in
+  let nh = float_of_int ((n_routing + 1) / 2) in
+  let nv = float_of_int (n_routing / 2) in
+  let density_at c r =
+    match density with
+    | None -> 0.0
+    | Some g ->
+      let c = min c (Cals_util.Grid2d.cols g - 1)
+      and r = min r (Cals_util.Grid2d.rows g - 1) in
+      Cals_util.Geom.clamp 0.0 1.0 (Cals_util.Grid2d.get g c r)
+  in
+  let hcap = Array.make ((cols - 1) * rows) 0.0 in
+  let vcap = Array.make (cols * (rows - 1)) 0.0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      let d = (density_at c r +. density_at (c + 1) r) /. 2.0 in
+      hcap.((r * (cols - 1)) + c) <- tracks *. (nh +. (m1_free *. (1.0 -. d)))
+    done
+  done;
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      let d = (density_at c r +. density_at c (r + 1)) /. 2.0 in
+      vcap.((r * cols) + c) <- tracks *. (nv +. (m1_free *. (1.0 -. d)))
+    done
+  done;
+  {
+    cols;
+    rows;
+    gcell_um;
+    hcap;
+    vcap;
+    husage = Array.make ((cols - 1) * rows) 0.0;
+    vusage = Array.make (cols * (rows - 1)) 0.0;
+    hhistory = Array.make ((cols - 1) * rows) 0.0;
+    vhistory = Array.make (cols * (rows - 1)) 0.0;
+  }
+
+let gcell_of_point t p =
+  let c = int_of_float (p.Geom.x /. t.gcell_um) in
+  let r = int_of_float (p.Geom.y /. t.gcell_um) in
+  let c = if c < 0 then 0 else if c >= t.cols then t.cols - 1 else c in
+  let r = if r < 0 then 0 else if r >= t.rows then t.rows - 1 else r in
+  (c, r)
+
+let center_of_gcell t (c, r) =
+  Geom.point
+    ((float_of_int c +. 0.5) *. t.gcell_um)
+    ((float_of_int r +. 0.5) *. t.gcell_um)
+
+let hindex t c r =
+  if c < 0 || c >= t.cols - 1 || r < 0 || r >= t.rows then
+    invalid_arg "Rgrid: horizontal edge out of range";
+  (r * (t.cols - 1)) + c
+
+let vindex t c r =
+  if c < 0 || c >= t.cols || r < 0 || r >= t.rows - 1 then
+    invalid_arg "Rgrid: vertical edge out of range";
+  (r * t.cols) + c
+
+let capacity t = function
+  | H (c, r) -> t.hcap.(hindex t c r)
+  | V (c, r) -> t.vcap.(vindex t c r)
+
+let usage t = function
+  | H (c, r) -> t.husage.(hindex t c r)
+  | V (c, r) -> t.vusage.(vindex t c r)
+
+let history t = function
+  | H (c, r) -> t.hhistory.(hindex t c r)
+  | V (c, r) -> t.vhistory.(vindex t c r)
+
+let add_usage t e delta =
+  match e with
+  | H (c, r) ->
+    let i = hindex t c r in
+    t.husage.(i) <- t.husage.(i) +. delta
+  | V (c, r) ->
+    let i = vindex t c r in
+    t.vusage.(i) <- t.vusage.(i) +. delta
+
+let add_history t e delta =
+  match e with
+  | H (c, r) ->
+    let i = hindex t c r in
+    t.hhistory.(i) <- t.hhistory.(i) +. delta
+  | V (c, r) ->
+    let i = vindex t c r in
+    t.vhistory.(i) <- t.vhistory.(i) +. delta
+
+let overflow t e = max 0.0 (usage t e -. capacity t e)
+
+let iter_edges t f =
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 2 do
+      f (H (c, r))
+    done
+  done;
+  for r = 0 to t.rows - 2 do
+    for c = 0 to t.cols - 1 do
+      f (V (c, r))
+    done
+  done
+
+let total_overflow t =
+  let acc = ref 0.0 in
+  iter_edges t (fun e -> acc := !acc +. overflow t e);
+  !acc
+
+let overflowed_edges t =
+  let acc = ref [] in
+  iter_edges t (fun e -> if overflow t e > 0.0 then acc := e :: !acc);
+  !acc
+
+let max_utilization t =
+  let m = ref 0.0 in
+  iter_edges t (fun e -> m := max !m (usage t e /. max 1e-9 (capacity t e)));
+  !m
+
+let reset_usage t =
+  Array.fill t.husage 0 (Array.length t.husage) 0.0;
+  Array.fill t.vusage 0 (Array.length t.vusage) 0.0
+
+let congestion_map t =
+  let g = Cals_util.Grid2d.create ~cols:t.cols ~rows:t.rows 0.0 in
+  iter_edges t (fun e ->
+      let util = usage t e /. max 1e-9 (capacity t e) in
+      let touch c r =
+        if util > Cals_util.Grid2d.get g c r then Cals_util.Grid2d.set g c r util
+      in
+      match e with
+      | H (c, r) ->
+        touch c r;
+        touch (c + 1) r
+      | V (c, r) ->
+        touch c r;
+        touch c (r + 1));
+  g

@@ -1,0 +1,63 @@
+(** Global-routing grid (gcells and capacitated boundary edges).
+
+    Capacity per edge derives from the gcell span, the routing pitch of the
+    library wire model and the metal-layer budget — the "fixed amount of
+    routing resources" of the paper. Layers above M1 contribute full track
+    counts in alternating directions; M1 contributes only what the standard
+    cells leave uncovered, so local placement density eats routing capacity
+    (the mechanism behind the paper's observation that a cell-area penalty
+    "limits the amount of available wiring resources"). Usage and
+    negotiation history are mutable; the router owns them. *)
+
+type t = private {
+  cols : int;
+  rows : int;
+  gcell_um : float;  (** Edge length of one gcell. *)
+  hcap : float array;  (** Per horizontal edge, (cols-1) * rows row-major. *)
+  vcap : float array;  (** Per vertical edge, cols * (rows-1). *)
+  husage : float array;
+  vusage : float array;
+  hhistory : float array;
+  vhistory : float array;
+}
+
+type edge =
+  | H of int * int  (** [H (c, r)]: between gcells (c,r) and (c+1,r). *)
+  | V of int * int  (** [V (c, r)]: between (c,r) and (c,r+1). *)
+
+val create :
+  floorplan:Cals_place.Floorplan.t ->
+  wire:Cals_cell.Library.wire_model ->
+  layers:int ->
+  ?gcell_rows:int ->
+  ?m1_free:float ->
+  ?density:Cals_util.Grid2d.t ->
+  unit ->
+  t
+(** [gcell_rows] (default 2) sets the gcell edge to that many row heights.
+    [m1_free] (default 1.3) is the M1 track share per direction on an empty
+    gcell; it shrinks linearly to 0 as the local [density] (cell-area
+    fraction per gcell, clamped to [0,1]) approaches 1. Without a density
+    map M1 is fully available. *)
+
+val gcell_of_point : t -> Cals_util.Geom.point -> int * int
+(** Clamped to the grid. *)
+
+val center_of_gcell : t -> int * int -> Cals_util.Geom.point
+val capacity : t -> edge -> float
+val usage : t -> edge -> float
+val history : t -> edge -> float
+val add_usage : t -> edge -> float -> unit
+val add_history : t -> edge -> float -> unit
+val overflow : t -> edge -> float
+(** [max 0 (usage - capacity)]. *)
+
+val total_overflow : t -> float
+val overflowed_edges : t -> edge list
+val max_utilization : t -> float
+val reset_usage : t -> unit
+
+val congestion_map : t -> Cals_util.Grid2d.t
+(** Per-gcell maximum of the utilizations of its incident edges. *)
+
+val iter_edges : t -> (edge -> unit) -> unit

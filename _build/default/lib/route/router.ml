@@ -1,0 +1,285 @@
+module Geom = Cals_util.Geom
+module Pqueue = Cals_util.Pqueue
+module Mapped = Cals_netlist.Mapped
+
+type config = {
+  layers : int;
+  gcell_rows : int;
+  m1_free : float;
+  star_topology : bool;
+  reroute_iterations : int;
+  overflow_penalty : float;
+  history_increment : float;
+}
+
+let default_config =
+  {
+    layers = 3;
+    gcell_rows = 2;
+    m1_free = 1.3;
+    star_topology = false;
+    reroute_iterations = 16;
+    overflow_penalty = 4.0;
+    history_increment = 1.0;
+  }
+
+type result = {
+  grid : Rgrid.t;
+  violations : int;
+  total_overflow : float;
+  wirelength_um : float;
+  max_utilization : float;
+  num_nets : int;
+  num_segments : int;
+  net_length_um : float array;
+}
+
+type seg_state = {
+  net : int;
+  ends : (int * int) * (int * int);
+  mutable path : Rgrid.edge list;
+}
+
+(* Cost of pushing one more track through [e]. *)
+let edge_cost cfg grid e =
+  let u = Rgrid.usage grid e and cap = Rgrid.capacity grid e in
+  let over = u +. 1.0 -. cap in
+  let congestion = if over > 0.0 then cfg.overflow_penalty *. over else 0.0 in
+  1.0 +. congestion +. Rgrid.history grid e
+
+(* Edges of a monotone staircase path through the given corner points. *)
+let edges_of_corners corners =
+  let rec straight (c1, r1) (c2, r2) acc =
+    if c1 = c2 && r1 = r2 then acc
+    else if r1 = r2 then
+      let step = if c2 > c1 then 1 else -1 in
+      let edge_c = if step > 0 then c1 else c1 - 1 in
+      straight (c1 + step, r1) (c2, r2) (Rgrid.H (edge_c, r1) :: acc)
+    else begin
+      let step = if r2 > r1 then 1 else -1 in
+      let edge_r = if step > 0 then r1 else r1 - 1 in
+      straight (c1, r1 + step) (c2, r2) (Rgrid.V (c1, edge_r) :: acc)
+    end
+  in
+  let rec walk = function
+    | [] | [ _ ] -> []
+    | a :: b :: rest -> straight a b [] @ walk (b :: rest)
+  in
+  walk corners
+
+let path_cost cfg grid path =
+  List.fold_left (fun acc e -> acc +. edge_cost cfg grid e) 0.0 path
+
+(* Candidate pattern paths between two gcells: both Ls plus single-bend Z
+   shapes through the midpoint in each dimension. *)
+let pattern_candidates (c1, r1) (c2, r2) =
+  let l1 = [ (c1, r1); (c2, r1); (c2, r2) ] in
+  let l2 = [ (c1, r1); (c1, r2); (c2, r2) ] in
+  let mid_c = (c1 + c2) / 2 and mid_r = (r1 + r2) / 2 in
+  let z1 = [ (c1, r1); (mid_c, r1); (mid_c, r2); (c2, r2) ] in
+  let z2 = [ (c1, r1); (c1, mid_r); (c2, mid_r); (c2, r2) ] in
+  List.map edges_of_corners [ l1; l2; z1; z2 ]
+
+let commit grid path = List.iter (fun e -> Rgrid.add_usage grid e 1.0) path
+let rip_up grid path = List.iter (fun e -> Rgrid.add_usage grid e (-1.0)) path
+
+let pattern_route cfg grid seg =
+  let a, b = seg.ends in
+  if a = b then seg.path <- []
+  else begin
+    let candidates = pattern_candidates a b in
+    let best =
+      List.fold_left
+        (fun best path ->
+          let cost = path_cost cfg grid path in
+          match best with
+          | Some (bc, _) when bc <= cost -> best
+          | Some _ | None -> Some (cost, path))
+        None candidates
+    in
+    match best with
+    | Some (_, path) ->
+      seg.path <- path;
+      commit grid path
+    | None -> seg.path <- []
+  end
+
+(* Dijkstra over gcells. *)
+let maze_route cfg grid (src, dst) =
+  let cols = grid.Rgrid.cols and rows = grid.Rgrid.rows in
+  let n = cols * rows in
+  let idx (c, r) = (r * cols) + c in
+  let dist = Array.make n infinity in
+  let via = Array.make n None in
+  (* via.(v) = Some (edge, previous cell) *)
+  let q = Pqueue.create () in
+  dist.(idx src) <- 0.0;
+  Pqueue.push q 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Pqueue.is_empty q) do
+    match Pqueue.pop q with
+    | None -> finished := true
+    | Some (d, cell) ->
+      if cell = dst then finished := true
+      else if d <= dist.(idx cell) then begin
+        let c, r = cell in
+        let try_move cell' edge =
+          let cost = d +. edge_cost cfg grid edge in
+          if cost < dist.(idx cell') then begin
+            dist.(idx cell') <- cost;
+            via.(idx cell') <- Some (edge, cell);
+            Pqueue.push q cost cell'
+          end
+        in
+        if c + 1 < cols then try_move (c + 1, r) (Rgrid.H (c, r));
+        if c - 1 >= 0 then try_move (c - 1, r) (Rgrid.H (c - 1, r));
+        if r + 1 < rows then try_move (c, r + 1) (Rgrid.V (c, r));
+        if r - 1 >= 0 then try_move (c, r - 1) (Rgrid.V (c, r - 1))
+      end
+  done;
+  if dist.(idx dst) = infinity then None
+  else begin
+    let rec backtrack cell acc =
+      if cell = src then acc
+      else
+        match via.(idx cell) with
+        | Some (edge, prev) -> backtrack prev (edge :: acc)
+        | None -> acc
+    in
+    Some (backtrack dst [])
+  end
+
+let path_uses_overflow overflowed path =
+  List.exists (fun e -> Hashtbl.mem overflowed e) path
+
+let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
+  let grid =
+    Rgrid.create ~floorplan ~wire ~layers:config.layers
+      ~gcell_rows:config.gcell_rows ~m1_free:config.m1_free ?density ()
+  in
+  let num_nets = Array.length nets in
+  (* Build segments. *)
+  let segments = ref [] in
+  Array.iteri
+    (fun net pins ->
+      let cells = List.map (Rgrid.gcell_of_point grid) pins in
+      let segs =
+        if config.star_topology then
+          match cells with
+          | [] -> []
+          | driver :: rest -> Topology.star_segments driver rest
+        else Topology.mst_segments cells
+      in
+      List.iter
+        (fun s ->
+          segments :=
+            { net; ends = (s.Topology.src, s.Topology.dst); path = [] }
+            :: !segments)
+        segs)
+    nets;
+  let segments = Array.of_list (List.rev !segments) in
+  (* Initial pattern routing, long segments first (they are the hardest to
+     place once the grid fills up). *)
+  let order = Array.init (Array.length segments) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let len s =
+        let (c1, r1), (c2, r2) = segments.(s).ends in
+        abs (c1 - c2) + abs (r1 - r2)
+      in
+      compare (len b) (len a))
+    order;
+  Array.iter (fun i -> pattern_route config grid segments.(i)) order;
+  (* Negotiated rip-up and reroute. *)
+  let iteration = ref 0 in
+  while !iteration < config.reroute_iterations && Rgrid.total_overflow grid > 0.0 do
+    incr iteration;
+    let overflowed = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        Hashtbl.replace overflowed e ();
+        Rgrid.add_history grid e config.history_increment)
+      (Rgrid.overflowed_edges grid);
+    Array.iter
+      (fun seg ->
+        if seg.path <> [] && path_uses_overflow overflowed seg.path then begin
+          rip_up grid seg.path;
+          match maze_route config grid seg.ends with
+          | Some path ->
+            seg.path <- path;
+            commit grid path
+          | None ->
+            (* Should not happen on a connected grid; restore. *)
+            commit grid seg.path
+        end)
+      segments
+  done;
+  let net_length = Array.make num_nets 0.0 in
+  Array.iter
+    (fun seg ->
+      net_length.(seg.net) <-
+        net_length.(seg.net)
+        +. (float_of_int (List.length seg.path) *. grid.Rgrid.gcell_um))
+    segments;
+  let wirelength = Array.fold_left ( +. ) 0.0 net_length in
+  let overflow = Rgrid.total_overflow grid in
+  {
+    grid;
+    violations = int_of_float (ceil overflow);
+    total_overflow = overflow;
+    wirelength_um = wirelength;
+    max_utilization = Rgrid.max_utilization grid;
+    num_nets;
+    num_segments = Array.length segments;
+    net_length_um = net_length;
+  }
+
+(* Cell-area fraction per gcell, for the M1 blockage model. *)
+let density_map ?(config = default_config) mapped ~floorplan
+    ~(placement : Cals_place.Placement.mapped_placement) =
+  let gcell_um =
+    float_of_int config.gcell_rows *. floorplan.Cals_place.Floorplan.row_height
+  in
+  let cols =
+    max 2
+      (int_of_float
+         (ceil (floorplan.Cals_place.Floorplan.die_width /. gcell_um)))
+  in
+  let rows =
+    max 2
+      (int_of_float
+         (ceil (floorplan.Cals_place.Floorplan.die_height /. gcell_um)))
+  in
+  let g = Cals_util.Grid2d.create ~cols ~rows 0.0 in
+  Array.iteri
+    (fun i inst ->
+      let p = placement.Cals_place.Placement.cell_pos.(i) in
+      let c = int_of_float (p.Geom.x /. gcell_um) in
+      let r = int_of_float (p.Geom.y /. gcell_um) in
+      let c = max 0 (min (cols - 1) c) and r = max 0 (min (rows - 1) r) in
+      Cals_util.Grid2d.add g c r inst.Mapped.cell.Cals_cell.Cell.area)
+    mapped.Mapped.instances;
+  Cals_util.Grid2d.map_inplace (fun a -> a /. (gcell_um *. gcell_um)) g;
+  g
+
+let route_mapped ?config mapped ~floorplan ~wire ~placement =
+  let density = density_map ?config mapped ~floorplan ~placement in
+  let nets = Mapped.nets mapped in
+  let pos_of_signal = function
+    | Mapped.Of_pi i -> placement.Cals_place.Placement.pi_pos.(i)
+    | Mapped.Of_inst i -> placement.Cals_place.Placement.cell_pos.(i)
+  in
+  let pin_clusters =
+    Array.map
+      (fun net ->
+        match net.Mapped.sinks with
+        | [] -> []
+        | sinks ->
+          let sink_pos = function
+            | Mapped.Cell_pin (i, _) -> placement.Cals_place.Placement.cell_pos.(i)
+            | Mapped.Po oi -> placement.Cals_place.Placement.po_pos.(oi)
+          in
+          pos_of_signal net.Mapped.driver :: List.map sink_pos sinks)
+      nets
+  in
+  route_pins ?config ~density ~floorplan ~wire pin_clusters

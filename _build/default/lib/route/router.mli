@@ -1,0 +1,60 @@
+(** Congestion-aware global router.
+
+    Pipeline: pins → gcells → MST two-pin segments → congestion-aware
+    pattern routing (L and Z shapes) → negotiated maze rip-up & reroute of
+    segments crossing overflowed edges. The residual total overflow is the
+    repo's stand-in for the "number of routing violations" that Silicon
+    Ensemble reports in the paper's tables. *)
+
+type config = {
+  layers : int;  (** Metal layers (the paper uses 3). *)
+  gcell_rows : int;  (** Gcell edge in row heights. *)
+  m1_free : float;  (** M1 track share per direction on an empty gcell. *)
+  star_topology : bool;  (** Use a driver star instead of the MST. *)
+  reroute_iterations : int;
+  overflow_penalty : float;  (** Cost slope per unit of overflow. *)
+  history_increment : float;
+}
+
+val default_config : config
+
+type result = {
+  grid : Rgrid.t;
+  violations : int;  (** Rounded total overflow after negotiation. *)
+  total_overflow : float;
+  wirelength_um : float;  (** Total routed length. *)
+  max_utilization : float;
+  num_nets : int;
+  num_segments : int;
+  net_length_um : float array;  (** Routed length per input net. *)
+}
+
+val route_pins :
+  ?config:config ->
+  ?density:Cals_util.Grid2d.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  wire:Cals_cell.Library.wire_model ->
+  Cals_util.Geom.point list array ->
+  result
+(** Route one net per array slot (list of pin locations; nets with fewer
+    than two distinct gcells cost no routing). [density] feeds the M1
+    blockage model (see {!Rgrid.create}). *)
+
+val route_mapped :
+  ?config:config ->
+  Cals_netlist.Mapped.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  wire:Cals_cell.Library.wire_model ->
+  placement:Cals_place.Placement.mapped_placement ->
+  result
+(** Nets in {!Cals_netlist.Mapped.nets} order, so [net_length_um] can be
+    indexed by {!Cals_netlist.Mapped.signal_index}. The placement's cell
+    density is folded into the M1 blockage model automatically. *)
+
+val density_map :
+  ?config:config ->
+  Cals_netlist.Mapped.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  placement:Cals_place.Placement.mapped_placement ->
+  Cals_util.Grid2d.t
+(** Cell-area fraction per gcell under the given placement. *)

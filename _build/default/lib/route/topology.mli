@@ -1,0 +1,19 @@
+(** Net topology: multi-pin nets decomposed into two-pin segments.
+
+    Uses a rectilinear minimum spanning tree (Prim) over the pin gcells —
+    the standard pre-step of pattern/maze global routing. *)
+
+type segment = {
+  src : int * int;  (** Gcell coordinates. *)
+  dst : int * int;
+}
+
+val mst_segments : (int * int) list -> segment list
+(** Spanning-tree edges over the distinct pin gcells (empty for 0/1 pin).
+    Deterministic for a given pin order. *)
+
+val segment_length : segment -> int
+(** Manhattan length in gcells. *)
+
+val star_segments : (int * int) -> (int * int) list -> segment list
+(** Driver-rooted star topology (ablation alternative to the MST). *)

@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Cals_cell Cals_netlist Cals_place Cals_util List Printf

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Cals_cell Cals_netlist Cals_place

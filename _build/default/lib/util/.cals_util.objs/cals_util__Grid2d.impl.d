@@ -1,0 +1,1 @@
+lib/util/grid2d.ml: Array Buffer Printf String

@@ -1,0 +1,65 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let grow q =
+  let cap = Array.length q.data in
+  if q.size >= cap then begin
+    let ncap = max 16 (cap * 2) in
+    let ndata = Array.make ncap q.data.(0) in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.data.(i).prio < q.data.(parent).prio then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.data.(l).prio < q.data.(!smallest).prio then smallest := l;
+  if r < q.size && q.data.(r).prio < q.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q prio value =
+  let entry = { prio; value } in
+  if q.size = 0 && Array.length q.data = 0 then q.data <- Array.make 16 entry;
+  grow q;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+let clear q = q.size <- 0

@@ -1,0 +1,20 @@
+(** Mutable binary-heap minimum priority queue with [float] priorities.
+
+    Used by the maze router (Dijkstra wavefront) and the MST net-topology
+    builder. Decrease-key is handled by lazy deletion: push the element again
+    with the smaller priority and ignore stale pops at the caller. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority value] inserts [value]. Smaller priority pops first. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for bench output and reports, plus small
+    summary statistics. The bench harness prints the paper's tables through
+    this module so every experiment has a uniform, diffable format. *)
+
+type align = Left | Right
+
+val render : ?title:string -> header:string list -> align list -> string list list -> string
+(** [render ~title ~header aligns rows] lays out a boxed text table. The
+    [aligns] list gives per-column alignment and must match [header]. *)
+
+val fmt_float : int -> float -> string
+(** [fmt_float digits v] fixed-point formatting. *)
+
+val fmt_int : int -> string
+(** Decimal with thousands separators, e.g. [126394 -> "126,394"]. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]]; nearest-rank on sorted data. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Cals_logic Cals_util List Printf

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Cals_logic Cals_util

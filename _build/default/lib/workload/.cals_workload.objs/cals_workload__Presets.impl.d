@@ -1,0 +1,1 @@
+lib/workload/presets.ml: Array Cals_netlist Cals_util Gen

@@ -1,0 +1,1 @@
+lib/workload/presets.mli: Cals_logic Cals_netlist Cals_util

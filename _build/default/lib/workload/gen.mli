@@ -1,0 +1,38 @@
+(** Synthetic circuit generators.
+
+    Stand-ins for the IWLS93 benchmarks, which are not redistributable in
+    this repository. [pla] mimics the structural signature of SPLA/PDC:
+    two-level logic whose outputs draw from a {e shared} pool of product
+    terms, so decomposition yields a wide AND-plane with multi-fanout
+    products. [multilevel] mimics TOO_LARGE-style random multi-level
+    control logic. Both are deterministic in the seed. *)
+
+val pla :
+  rng:Cals_util.Rng.t ->
+  inputs:int ->
+  outputs:int ->
+  products:int ->
+  ?literals_lo:int ->
+  ?literals_hi:int ->
+  ?terms_lo:int ->
+  ?terms_hi:int ->
+  unit ->
+  Cals_logic.Network.t
+(** A product pool of [products] cubes with [literals_lo..literals_hi]
+    literals each; every output ORs a random [terms_lo..terms_hi]-sized
+    subset of the pool. *)
+
+val multilevel :
+  rng:Cals_util.Rng.t ->
+  inputs:int ->
+  outputs:int ->
+  internal_nodes:int ->
+  ?fanins_lo:int ->
+  ?fanins_hi:int ->
+  ?cubes_lo:int ->
+  ?cubes_hi:int ->
+  unit ->
+  Cals_logic.Network.t
+(** Layered random logic: each node computes a small random SOP over
+    already-defined signals (biased toward recent ones for locality);
+    outputs tap the last nodes. *)

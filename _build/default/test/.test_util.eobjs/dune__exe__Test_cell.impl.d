@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Cals_cell Int64 List Printf String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cals_cell Cals_core Cals_logic Cals_netlist Cals_place Cals_sta Cals_util Cals_workload List Printf

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Cals_logic Cals_netlist Cals_util Cals_workload Gen Int64 List Printf QCheck QCheck_alcotest

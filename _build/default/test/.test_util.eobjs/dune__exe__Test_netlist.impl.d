@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Cals_cell Cals_netlist Cals_util String

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Cals_cell Cals_core Cals_logic Cals_netlist Cals_place Cals_util Cals_workload Hashtbl List Option Printf String

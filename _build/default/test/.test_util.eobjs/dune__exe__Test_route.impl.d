@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Cals_cell Cals_place Cals_route Cals_util List Option Printf String

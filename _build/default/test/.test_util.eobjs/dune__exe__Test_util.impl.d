@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cals_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cals_cell Cals_core Cals_logic Cals_netlist Cals_util Cals_workload Int64 List Printf

@@ -1,0 +1,183 @@
+(* Integration tests: the full Figure-3 methodology loop and cross-module
+   pipelines on small circuits. *)
+
+module Flow = Cals_core.Flow
+module Mapper = Cals_core.Mapper
+module Partition = Cals_core.Partition
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Congestion = Cals_route.Congestion
+module Router = Cals_route.Router
+module Sta = Cals_sta.Sta
+module Network = Cals_logic.Network
+module Rng = Cals_util.Rng
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry lib
+let wire = Cals_cell.Library.wire lib
+
+let small_circuit seed =
+  let rng = Rng.create seed in
+  let net =
+    Cals_workload.Gen.pla ~rng ~inputs:10 ~outputs:10 ~products:60 ~terms_lo:6
+      ~terms_hi:16 ()
+  in
+  Cals_logic.Network.sweep net;
+  net
+
+let test_flow_loose_floorplan_accepts_first () =
+  let net = small_circuit 1 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  (* Generous die: K = 0 must already be acceptable. *)
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.3 ~aspect:1.0 ~geometry
+  in
+  let outcome =
+    Flow.run ~subject ~library:lib ~floorplan ~rng:(Rng.create 2) ()
+  in
+  match outcome.Flow.accepted with
+  | None -> Alcotest.fail "loose floorplan should route"
+  | Some it ->
+    Alcotest.(check (float 1e-9)) "accepted at K=0" 0.0 it.Flow.k;
+    Alcotest.(check int) "single iteration" 1 (List.length outcome.Flow.iterations);
+    Alcotest.(check bool) "netlist returned" true (outcome.Flow.mapped <> None);
+    Alcotest.(check bool) "routing returned" true (outcome.Flow.routing <> None)
+
+let test_flow_iterates_on_tight_floorplan () =
+  let net = small_circuit 2 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  (* Impossibly tight: fewer sites than the min-area mapping needs, so
+     every K fails to legalize and the loop walks the whole schedule. *)
+  let floorplan = Floorplan.of_rows ~num_rows:4 ~sites_per_row:40 ~geometry in
+  let schedule = [ 0.0; 0.001; 0.01 ] in
+  let outcome =
+    Flow.run ~k_schedule:schedule ~subject ~library:lib ~floorplan
+      ~rng:(Rng.create 3) ()
+  in
+  Alcotest.(check int) "all iterations executed" (List.length schedule)
+    (List.length outcome.Flow.iterations);
+  (* K values recorded in schedule order. *)
+  Alcotest.(check (list (float 1e-12))) "k order" schedule
+    (List.map (fun it -> it.Flow.k) outcome.Flow.iterations)
+
+let test_flow_function_preserved_through_accepted () =
+  let net = small_circuit 3 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.4 ~aspect:1.0 ~geometry
+  in
+  let outcome = Flow.run ~subject ~library:lib ~floorplan ~rng:(Rng.create 4) () in
+  match outcome.Flow.mapped with
+  | None -> Alcotest.fail "expected acceptance"
+  | Some mapped ->
+    let rng = Rng.create 5 in
+    for _ = 1 to 8 do
+      let stimulus = Subject.random_vectors rng subject in
+      if Subject.simulate subject stimulus <> Mapped.simulate mapped stimulus then
+        Alcotest.fail "flow result is not equivalent"
+    done
+
+let test_flow_metrics_consistent () =
+  let net = small_circuit 4 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.45 ~aspect:1.0 ~geometry
+  in
+  let positions =
+    Placement.place_subject subject ~floorplan ~rng:(Rng.create 6)
+  in
+  let it, (mapped, placement, routing) =
+    Flow.evaluate_k ~subject ~library:lib ~floorplan ~positions ~k:0.0005 ()
+  in
+  Alcotest.(check int) "cells" (Mapped.num_cells mapped) it.Flow.cells;
+  Alcotest.(check (float 1e-6)) "area" (Mapped.total_area mapped) it.Flow.cell_area;
+  (match placement with
+  | Some pl -> Alcotest.(check (float 1e-6)) "hpwl" pl.Placement.hpwl it.Flow.hpwl_um
+  | None -> Alcotest.fail "placement expected");
+  match routing with
+  | Some rt ->
+    Alcotest.(check int) "violations" rt.Router.violations
+      it.Flow.report.Congestion.violations
+  | None -> Alcotest.fail "routing expected"
+
+let test_full_pipeline_sis_vs_baseline () =
+  (* Table-1-shaped experiment in miniature: the aggressively optimized
+     netlist has smaller decomposed cell area after min-area mapping. *)
+  let net_baseline = small_circuit 5 in
+  let net_sis = Cals_logic.Blif.parse (Cals_logic.Blif.print net_baseline) in
+  Cals_logic.Optimize.script_area net_sis;
+  let subj_b = Cals_logic.Decompose.subject_of_network net_baseline in
+  let subj_s = Cals_logic.Decompose.subject_of_network net_sis in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subj_b) *. 5.0)
+      ~utilization:0.5 ~aspect:1.0 ~geometry
+  in
+  let map subj =
+    let positions = Placement.place_subject subj ~floorplan ~rng:(Rng.create 7) in
+    let r = Mapper.map subj ~library:lib ~positions Mapper.min_area in
+    r.Mapper.stats.Mapper.cell_area
+  in
+  let area_b = map subj_b and area_s = map subj_s in
+  Alcotest.(check bool)
+    (Printf.sprintf "sis %.0f <= baseline %.0f" area_s area_b)
+    true (area_s <= area_b);
+  (* And both remain functionally equivalent to the original. *)
+  let rng = Rng.create 8 in
+  for _ = 1 to 8 do
+    let stimulus = Network.random_vectors rng net_baseline in
+    if Network.simulate net_baseline stimulus <> Network.simulate net_sis stimulus
+    then Alcotest.fail "script_area broke the circuit"
+  done
+
+let test_pipeline_with_sta () =
+  (* Map at two K values and run STA on routed lengths; both must produce
+     finite, positive critical paths. *)
+  let net = small_circuit 6 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.5 ~aspect:1.0 ~geometry
+  in
+  let positions = Placement.place_subject subject ~floorplan ~rng:(Rng.create 9) in
+  List.iter
+    (fun k ->
+      let r = Mapper.map subject ~library:lib ~positions (Mapper.congestion_aware ~k) in
+      let mapped = r.Mapper.mapped in
+      let placement = Placement.place_mapped_seeded mapped ~floorplan in
+      let routing = Router.route_mapped mapped ~floorplan ~wire ~placement in
+      let report =
+        Sta.analyze ~net_length_um:routing.Router.net_length_um mapped ~wire
+          ~placement
+      in
+      let t = report.Sta.critical.Sta.arrival_ns in
+      if not (t > 0.0 && t < 1000.0) then Alcotest.failf "bad critical %.3f at K=%g" t k)
+    [ 0.0; 0.001 ]
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "loose floorplan" `Quick test_flow_loose_floorplan_accepts_first;
+          Alcotest.test_case "tight floorplan iterates" `Quick
+            test_flow_iterates_on_tight_floorplan;
+          Alcotest.test_case "function preserved" `Quick
+            test_flow_function_preserved_through_accepted;
+          Alcotest.test_case "metrics consistent" `Quick test_flow_metrics_consistent;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "sis vs baseline" `Quick test_full_pipeline_sis_vs_baseline;
+          Alcotest.test_case "with sta" `Quick test_pipeline_with_sta;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+module Rgrid = Cals_route.Rgrid
+module Topology = Cals_route.Topology
+module Router = Cals_route.Router
+module Congestion = Cals_route.Congestion
+module Floorplan = Cals_place.Floorplan
+module Geom = Cals_util.Geom
+module Rng = Cals_util.Rng
+module Grid2d = Cals_util.Grid2d
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry lib
+let wire = Cals_cell.Library.wire lib
+let fp = Floorplan.of_rows ~num_rows:20 ~sites_per_row:200 ~geometry
+
+(* ------------------------- Rgrid ------------------------- *)
+
+let test_rgrid_dimensions () =
+  let g = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  Alcotest.(check bool) "cols" true (g.Rgrid.cols >= 2);
+  Alcotest.(check bool) "rows" true (g.Rgrid.rows >= 2);
+  Alcotest.(check (float 1e-6)) "gcell edge"
+    (2.0 *. geometry.Cals_cell.Library.row_height)
+    g.Rgrid.gcell_um
+
+let test_rgrid_usage_overflow () =
+  let g = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  let e = Rgrid.H (0, 0) in
+  let cap = Rgrid.capacity g e in
+  Alcotest.(check bool) "capacity positive" true (cap > 0.0);
+  Alcotest.(check (float 1e-9)) "no overflow" 0.0 (Rgrid.overflow g e);
+  Rgrid.add_usage g e (cap +. 2.0);
+  Alcotest.(check (float 1e-9)) "overflow 2" 2.0 (Rgrid.overflow g e);
+  Alcotest.(check (float 1e-9)) "total overflow" 2.0 (Rgrid.total_overflow g);
+  Alcotest.(check int) "one overflowed edge" 1 (List.length (Rgrid.overflowed_edges g));
+  Rgrid.reset_usage g;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Rgrid.total_overflow g)
+
+let test_rgrid_density_reduces_capacity () =
+  let g0 = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  let dense = Grid2d.create ~cols:g0.Rgrid.cols ~rows:g0.Rgrid.rows 0.9 in
+  let g1 = Rgrid.create ~floorplan:fp ~wire ~layers:3 ~density:dense () in
+  let e = Rgrid.H (1, 1) in
+  Alcotest.(check bool) "dense capacity smaller" true
+    (Rgrid.capacity g1 e < Rgrid.capacity g0 e)
+
+let test_rgrid_more_layers_more_capacity () =
+  let g3 = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  let g5 = Rgrid.create ~floorplan:fp ~wire ~layers:5 () in
+  let e = Rgrid.H (0, 0) and v = Rgrid.V (0, 0) in
+  Alcotest.(check bool) "h capacity grows" true
+    (Rgrid.capacity g5 e > Rgrid.capacity g3 e);
+  Alcotest.(check bool) "v capacity grows" true
+    (Rgrid.capacity g5 v > Rgrid.capacity g3 v)
+
+let test_rgrid_point_mapping () =
+  let g = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  Alcotest.(check (pair int int)) "origin" (0, 0)
+    (Rgrid.gcell_of_point g (Geom.point 0.1 0.1));
+  let c, r = Rgrid.gcell_of_point g (Geom.point 1e9 1e9) in
+  Alcotest.(check (pair int int)) "clamped" (g.Rgrid.cols - 1, g.Rgrid.rows - 1) (c, r);
+  let center = Rgrid.center_of_gcell g (1, 2) in
+  Alcotest.(check (pair int int)) "roundtrip" (1, 2) (Rgrid.gcell_of_point g center)
+
+let test_rgrid_history () =
+  let g = Rgrid.create ~floorplan:fp ~wire ~layers:3 () in
+  let e = Rgrid.V (2, 3) in
+  Rgrid.add_history g e 1.5;
+  Alcotest.(check (float 1e-9)) "history" 1.5 (Rgrid.history g e)
+
+(* ------------------------- Topology ------------------------- *)
+
+let test_mst_tree_properties () =
+  let pins = [ (0, 0); (5, 0); (0, 5); (9, 9); (5, 0) ] in
+  let segs = Topology.mst_segments pins in
+  (* 4 distinct pins -> 3 edges. *)
+  Alcotest.(check int) "spanning edges" 3 (List.length segs);
+  (* Connectivity via union-find over pin indices. *)
+  let distinct = List.sort_uniq compare pins in
+  let idx p = Option.get (List.find_index (( = ) p) distinct) in
+  let uf = Cals_util.Union_find.create (List.length distinct) in
+  List.iter
+    (fun s -> ignore (Cals_util.Union_find.union uf (idx s.Topology.src) (idx s.Topology.dst)))
+    segs;
+  Alcotest.(check int) "connected" 1 (Cals_util.Union_find.count uf)
+
+let test_mst_short () =
+  Alcotest.(check int) "empty" 0 (List.length (Topology.mst_segments []));
+  Alcotest.(check int) "single" 0 (List.length (Topology.mst_segments [ (1, 1) ]))
+
+let test_mst_shorter_than_star () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 20 do
+    let pins = List.init 8 (fun _ -> (Rng.int rng 30, Rng.int rng 30)) in
+    match List.sort_uniq compare pins with
+    | [] | [ _ ] -> ()
+    | (driver :: _) as distinct ->
+      let len segs =
+        List.fold_left (fun acc s -> acc + Topology.segment_length s) 0 segs
+      in
+      let mst = len (Topology.mst_segments distinct) in
+      let star = len (Topology.star_segments driver distinct) in
+      if mst > star then Alcotest.failf "mst %d > star %d" mst star
+  done
+
+(* ------------------------- Router ------------------------- *)
+
+let test_route_empty_and_trivial () =
+  let r = Router.route_pins ~floorplan:fp ~wire [| []; [ Geom.point 5.0 5.0 ] |] in
+  Alcotest.(check int) "no segments" 0 r.Router.num_segments;
+  Alcotest.(check (float 1e-9)) "no wire" 0.0 r.Router.wirelength_um;
+  Alcotest.(check int) "no violations" 0 r.Router.violations
+
+let test_route_two_pins () =
+  let a = Geom.point 5.0 5.0 in
+  let b = Geom.point 100.0 80.0 in
+  let r = Router.route_pins ~floorplan:fp ~wire [| [ a; b ] |] in
+  Alcotest.(check int) "one segment" 1 r.Router.num_segments;
+  Alcotest.(check bool) "wirelength covers manhattan" true
+    (r.Router.wirelength_um >= Geom.manhattan a b -. (2.0 *. r.Router.grid.Rgrid.gcell_um));
+  Alcotest.(check int) "routes cleanly" 0 r.Router.violations
+
+let test_route_usage_conservation () =
+  (* Total usage = total routed gcell crossings. *)
+  let rng = Rng.create 33 in
+  let nets =
+    Array.init 30 (fun _ ->
+        List.init (Rng.range rng 2 5) (fun _ ->
+            Geom.point
+              (Rng.float rng fp.Floorplan.die_width)
+              (Rng.float rng fp.Floorplan.die_height)))
+  in
+  let r = Router.route_pins ~floorplan:fp ~wire nets in
+  let total_usage = ref 0.0 in
+  Rgrid.iter_edges r.Router.grid (fun e ->
+      total_usage := !total_usage +. Rgrid.usage r.Router.grid e);
+  let crossings = r.Router.wirelength_um /. r.Router.grid.Rgrid.gcell_um in
+  Alcotest.(check (float 0.5)) "usage = crossings" crossings !total_usage
+
+let test_route_net_lengths_sum () =
+  let rng = Rng.create 34 in
+  let nets =
+    Array.init 10 (fun _ ->
+        List.init 3 (fun _ ->
+            Geom.point
+              (Rng.float rng fp.Floorplan.die_width)
+              (Rng.float rng fp.Floorplan.die_height)))
+  in
+  let r = Router.route_pins ~floorplan:fp ~wire nets in
+  let sum = Array.fold_left ( +. ) 0.0 r.Router.net_length_um in
+  Alcotest.(check (float 1e-6)) "lengths sum to total" r.Router.wirelength_um sum
+
+let test_route_overload_detected () =
+  (* Force many long nets through a 2-gcell-tall corridor. *)
+  let tiny = Floorplan.of_rows ~num_rows:4 ~sites_per_row:400 ~geometry in
+  let nets =
+    Array.init 400 (fun i ->
+        let y = float_of_int (i mod 4) +. 2.0 in
+        [ Geom.point 1.0 y; Geom.point (tiny.Floorplan.die_width -. 1.0) y ])
+  in
+  let r = Router.route_pins ~floorplan:tiny ~wire nets in
+  Alcotest.(check bool) "overflow detected" true (r.Router.violations > 0)
+
+let test_route_negotiation_helps () =
+  let rng = Rng.create 35 in
+  let nets =
+    Array.init 150 (fun _ ->
+        List.init 2 (fun _ ->
+            Geom.point
+              (Rng.float rng fp.Floorplan.die_width)
+              (Rng.float rng fp.Floorplan.die_height)))
+  in
+  let no_nego = { Router.default_config with reroute_iterations = 0 } in
+  let nego = { Router.default_config with reroute_iterations = 16 } in
+  let r0 = Router.route_pins ~config:no_nego ~floorplan:fp ~wire nets in
+  let r1 = Router.route_pins ~config:nego ~floorplan:fp ~wire nets in
+  Alcotest.(check bool)
+    (Printf.sprintf "negotiation %d <= initial %d" r1.Router.violations
+       r0.Router.violations)
+    true
+    (r1.Router.violations <= r0.Router.violations)
+
+let test_route_star_config () =
+  let rng = Rng.create 36 in
+  let nets =
+    Array.init 20 (fun _ ->
+        List.init 4 (fun _ ->
+            Geom.point
+              (Rng.float rng fp.Floorplan.die_width)
+              (Rng.float rng fp.Floorplan.die_height)))
+  in
+  let star = { Router.default_config with star_topology = true } in
+  let r_star = Router.route_pins ~config:star ~floorplan:fp ~wire nets in
+  let r_mst = Router.route_pins ~floorplan:fp ~wire nets in
+  Alcotest.(check bool) "star at least as long" true
+    (r_star.Router.wirelength_um >= r_mst.Router.wirelength_um -. 1e-6)
+
+(* ------------------------- Congestion ------------------------- *)
+
+let test_congestion_report () =
+  let rng = Rng.create 37 in
+  let nets =
+    Array.init 50 (fun _ ->
+        List.init 3 (fun _ ->
+            Geom.point
+              (Rng.float rng fp.Floorplan.die_width)
+              (Rng.float rng fp.Floorplan.die_height)))
+  in
+  let r = Router.route_pins ~floorplan:fp ~wire nets in
+  let report = Congestion.of_result r in
+  Alcotest.(check int) "violations match" r.Router.violations report.Congestion.violations;
+  Alcotest.(check bool) "fraction in [0,1]" true
+    (report.Congestion.congested_gcell_fraction >= 0.0
+    && report.Congestion.congested_gcell_fraction <= 1.0);
+  Alcotest.(check bool) "acceptable when clean" true
+    (report.Congestion.violations > 0 || Congestion.acceptable report);
+  let map = Congestion.ascii_map r in
+  Alcotest.(check bool) "map non-empty" true (String.length map > 0);
+  Alcotest.(check bool) "summary mentions violations" true
+    (String.length (Congestion.summary report) > 0)
+
+let () =
+  Alcotest.run "route"
+    [
+      ( "rgrid",
+        [
+          Alcotest.test_case "dimensions" `Quick test_rgrid_dimensions;
+          Alcotest.test_case "usage/overflow" `Quick test_rgrid_usage_overflow;
+          Alcotest.test_case "density blocks M1" `Quick
+            test_rgrid_density_reduces_capacity;
+          Alcotest.test_case "layer budget" `Quick test_rgrid_more_layers_more_capacity;
+          Alcotest.test_case "point mapping" `Quick test_rgrid_point_mapping;
+          Alcotest.test_case "history" `Quick test_rgrid_history;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "mst tree" `Quick test_mst_tree_properties;
+          Alcotest.test_case "degenerate" `Quick test_mst_short;
+          Alcotest.test_case "mst <= star" `Quick test_mst_shorter_than_star;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "empty/trivial" `Quick test_route_empty_and_trivial;
+          Alcotest.test_case "two pins" `Quick test_route_two_pins;
+          Alcotest.test_case "usage conservation" `Quick test_route_usage_conservation;
+          Alcotest.test_case "net length sum" `Quick test_route_net_lengths_sum;
+          Alcotest.test_case "overload detected" `Quick test_route_overload_detected;
+          Alcotest.test_case "negotiation helps" `Quick test_route_negotiation_helps;
+          Alcotest.test_case "star topology" `Quick test_route_star_config;
+        ] );
+      ("congestion", [ Alcotest.test_case "report" `Quick test_congestion_report ]);
+    ]

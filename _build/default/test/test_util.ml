@@ -1,0 +1,278 @@
+module Rng = Cals_util.Rng
+module Geom = Cals_util.Geom
+module Pqueue = Cals_util.Pqueue
+module Union_find = Cals_util.Union_find
+module Grid2d = Cals_util.Grid2d
+module Tables = Cals_util.Tables
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------- Rng ------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_range_inclusive () =
+  let rng = Rng.create 9 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 10_000 do
+    let v = Rng.range rng 3 5 in
+    if v < 3 || v > 5 then Alcotest.failf "out of range: %d" v;
+    if v = 3 then seen_lo := true;
+    if v = 5 then seen_hi := true
+  done;
+  Alcotest.(check bool) "hits lo" true !seen_lo;
+  Alcotest.(check bool) "hits hi" true !seen_hi
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let s = Rng.sample rng 10 30 in
+    Alcotest.(check int) "length" 10 (List.length s);
+    Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> if v < 0 || v >= 30 then Alcotest.fail "range") s
+  done
+
+let test_rng_sample_full () =
+  let rng = Rng.create 12 in
+  let s = Rng.sample rng 5 5 in
+  Alcotest.(check (list int)) "permutation of all" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare s)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.0 in
+    if v < 0.0 || v >= 3.0 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+(* ------------------------- Geom ------------------------- *)
+
+let test_manhattan () =
+  check_float "manhattan" 7.0 (Geom.manhattan (Geom.point 1.0 2.0) (Geom.point 4.0 6.0))
+
+let test_euclidean () =
+  check_float "euclidean" 5.0 (Geom.euclidean (Geom.point 0.0 0.0) (Geom.point 3.0 4.0))
+
+let test_center_of_mass () =
+  let c = Geom.center_of_mass [ Geom.point 0.0 0.0; Geom.point 2.0 4.0 ] in
+  check_float "x" 1.0 c.Geom.x;
+  check_float "y" 2.0 c.Geom.y
+
+let test_center_of_mass_weighted () =
+  let c =
+    Geom.center_of_mass_weighted
+      [ (Geom.point 0.0 0.0, 1.0); (Geom.point 4.0 0.0, 3.0) ]
+  in
+  check_float "weighted x" 3.0 c.Geom.x
+
+let test_bbox () =
+  let b = Geom.bbox_of_points [ Geom.point 1.0 5.0; Geom.point 3.0 2.0 ] in
+  check_float "half perimeter" 5.0 (Geom.half_perimeter b);
+  Alcotest.(check bool) "contains" true (Geom.bbox_contains b (Geom.point 2.0 3.0));
+  Alcotest.(check bool) "excludes" false (Geom.bbox_contains b (Geom.point 0.0 3.0));
+  check_float "area" 6.0 (Geom.bbox_area b)
+
+let test_clamp () =
+  check_float "low" 1.0 (Geom.clamp 1.0 2.0 0.5);
+  check_float "high" 2.0 (Geom.clamp 1.0 2.0 9.0);
+  check_float "mid" 1.5 (Geom.clamp 1.0 2.0 1.5)
+
+(* ------------------------- Pqueue ------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q p (int_of_float p)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !popped)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Pqueue.push q 1.0 1;
+  Alcotest.(check int) "length" 1 (Pqueue.length q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_pqueue_duplicates () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 1.0 "b";
+  Pqueue.push q 0.5 "c";
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+    Alcotest.(check string) "peek min" "c" v;
+    check_float "peek prio" 0.5 p
+  | None -> Alcotest.fail "peek");
+  Alcotest.(check int) "length 3" 3 (Pqueue.length q)
+
+let pqueue_heap_property =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let q = Pqueue.create () in
+      List.iter (fun f -> Pqueue.push q f ()) floats;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (p, ()) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+(* ------------------------- Union_find ------------------------- *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "re-union" false (Union_find.union uf 0 1);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "sets after" 4 (Union_find.count uf)
+
+let test_union_find_transitive () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "separate" false (Union_find.same uf 2 3);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "merged" true (Union_find.same uf 0 4)
+
+(* ------------------------- Grid2d ------------------------- *)
+
+let test_grid_get_set () =
+  let g = Grid2d.create ~cols:3 ~rows:2 0.0 in
+  Grid2d.set g 2 1 5.0;
+  Grid2d.add g 2 1 1.5;
+  check_float "get" 6.5 (Grid2d.get g 2 1);
+  check_float "other" 0.0 (Grid2d.get g 0 0);
+  check_float "max" 6.5 (Grid2d.max_value g);
+  check_float "total" 6.5 (Grid2d.total g)
+
+let test_grid_bounds () =
+  let g = Grid2d.create ~cols:3 ~rows:2 0.0 in
+  Alcotest.check_raises "col out of range"
+    (Invalid_argument "Grid2d: (3,0) outside 3x2") (fun () ->
+      ignore (Grid2d.get g 3 0))
+
+let test_grid_copy_independent () =
+  let g = Grid2d.create ~cols:2 ~rows:2 1.0 in
+  let h = Grid2d.copy g in
+  Grid2d.set g 0 0 9.0;
+  check_float "copy unchanged" 1.0 (Grid2d.get h 0 0)
+
+let test_grid_render () =
+  let g = Grid2d.create ~cols:2 ~rows:2 0.0 in
+  Grid2d.set g 0 0 1.0;
+  let s = Grid2d.render_ascii ~levels:" #" g in
+  Alcotest.(check string) "render" "  \n# \n" s
+
+(* ------------------------- Tables ------------------------- *)
+
+let test_tables_fmt_int () =
+  Alcotest.(check string) "thousands" "126,394" (Tables.fmt_int 126394);
+  Alcotest.(check string) "small" "42" (Tables.fmt_int 42);
+  Alcotest.(check string) "negative" "-1,234" (Tables.fmt_int (-1234))
+
+let test_tables_render () =
+  let s =
+    Tables.render ~header:[ "a"; "b" ] [ Tables.Left; Tables.Right ]
+      [ [ "xx"; "1" ]; [ "y"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.contains s '|')
+
+let test_tables_stats () =
+  check_float "mean" 2.0 (Tables.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "stddev" 1.0 (Tables.stddev [ 1.0; 2.0; 3.0 ]);
+  check_float "median" 2.0 (Tables.percentile 0.5 [ 3.0; 1.0; 2.0 ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "range inclusive" `Quick test_rng_range_inclusive;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "sample full" `Quick test_rng_sample_full;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        ] );
+      ( "geom",
+        [
+          Alcotest.test_case "manhattan" `Quick test_manhattan;
+          Alcotest.test_case "euclidean" `Quick test_euclidean;
+          Alcotest.test_case "center of mass" `Quick test_center_of_mass;
+          Alcotest.test_case "weighted com" `Quick test_center_of_mass_weighted;
+          Alcotest.test_case "bbox" `Quick test_bbox;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          qc pqueue_heap_property;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "transitive" `Quick test_union_find_transitive;
+        ] );
+      ( "grid2d",
+        [
+          Alcotest.test_case "get/set" `Quick test_grid_get_set;
+          Alcotest.test_case "bounds" `Quick test_grid_bounds;
+          Alcotest.test_case "copy" `Quick test_grid_copy_independent;
+          Alcotest.test_case "render" `Quick test_grid_render;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "fmt_int" `Quick test_tables_fmt_int;
+          Alcotest.test_case "render" `Quick test_tables_render;
+          Alcotest.test_case "stats" `Quick test_tables_stats;
+        ] );
+    ]
