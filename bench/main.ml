@@ -415,6 +415,127 @@ let ablations ~scale =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Perf: per-stage wall-clock, sequential vs parallel flow, JSON dump  *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The parallel flow must reproduce the sequential outcome bit for bit:
+   same K points evaluated, same accepted K, same metrics. *)
+let same_outcome (a : Flow.outcome) (b : Flow.outcome) =
+  let sig_of (it : Flow.iteration) =
+    (it.Flow.k, it.Flow.cells, it.Flow.cell_area, it.Flow.hpwl_um, it.Flow.report)
+  in
+  List.map sig_of a.Flow.iterations = List.map sig_of b.Flow.iterations
+  && Option.map sig_of a.Flow.accepted = Option.map sig_of b.Flow.accepted
+
+let perf_report ~scale ~jobs ~json =
+  let circuit = spla ~scale in
+  Printf.printf "Perf: %s, %d base gates, jobs=%d (host reports %d cores)\n"
+    circuit.name
+    (Subject.num_gates circuit.subject)
+    jobs
+    (Domain.recommended_domain_count ());
+  (* Per-stage wall-clock at a representative K point. *)
+  let k = 0.001 in
+  let options =
+    { (Mapper.congestion_aware ~k) with strategy = Partition.Pdp }
+  in
+  let map_result, map_s =
+    wall (fun () ->
+        Mapper.map circuit.subject ~library ~positions:circuit.positions options)
+  in
+  let mapped = map_result.Mapper.mapped in
+  let matches = map_result.Mapper.stats.Mapper.matches_evaluated in
+  let matches_per_sec = float_of_int matches /. max 1e-9 map_s in
+  let placement, place_s =
+    wall (fun () ->
+        Placement.place_mapped_seeded mapped ~floorplan:circuit.floorplan)
+  in
+  let alloc0 = Gc.allocated_bytes () in
+  let routing, route_s =
+    wall (fun () ->
+        Router.route_mapped ~config:router_config mapped
+          ~floorplan:circuit.floorplan ~wire ~placement)
+  in
+  let route_alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1048576.0 in
+  Printf.printf
+    "  stages @ K=%g: map %.3fs (%s matches, %s matches/sec), place %.3fs,\n\
+    \    route %.3fs (%d violations, %.1f MB allocated)\n"
+    k map_s (Tables.fmt_int matches)
+    (Tables.fmt_int (int_of_float matches_per_sec))
+    place_s route_s routing.Router.violations route_alloc_mb;
+  (* Full K-schedule sweep, sequential vs speculative-parallel. Fresh RNGs
+     with the same seed give both flows the same companion placement. *)
+  let subject = circuit.subject and floorplan = circuit.floorplan in
+  let seq, seq_s =
+    wall (fun () ->
+        Flow.run ~router_config ~subject ~library ~floorplan
+          ~rng:(Rng.create 22) ())
+  in
+  let par, par_s =
+    wall (fun () ->
+        Flow.run_parallel ~jobs ~router_config ~subject ~library ~floorplan
+          ~rng:(Rng.create 22) ())
+  in
+  let speedup = seq_s /. max 1e-9 par_s in
+  let identical = same_outcome seq par in
+  let accepted_k =
+    match seq.Flow.accepted with
+    | Some it -> Printf.sprintf "%g" it.Flow.k
+    | None -> "null"
+  in
+  Printf.printf
+    "  flow sweep: sequential %.3fs (%d iterations), parallel(%d) %.3fs, \
+     speedup %.2fx, identical=%b\n"
+    seq_s
+    (List.length seq.Flow.iterations)
+    jobs par_s speedup identical;
+  if not identical then
+    print_endline "  WARNING: parallel flow diverged from the sequential loop";
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": 1,\n\
+      \  \"circuit\": \"%s\",\n\
+      \  \"scale\": %g,\n\
+      \  \"gates\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"stages\": {\n\
+      \    \"map_s\": %.6f,\n\
+      \    \"place_s\": %.6f,\n\
+      \    \"route_s\": %.6f,\n\
+      \    \"matches_evaluated\": %d,\n\
+      \    \"matches_per_sec\": %.0f,\n\
+      \    \"route_alloc_mb\": %.3f,\n\
+      \    \"route_violations\": %d\n\
+      \  },\n\
+      \  \"flow\": {\n\
+      \    \"iterations\": %d,\n\
+      \    \"accepted_k\": %s,\n\
+      \    \"sequential_s\": %.6f,\n\
+      \    \"parallel_s\": %.6f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"parallel_identical\": %b\n\
+      \  }\n\
+       }\n"
+      circuit.name scale
+      (Subject.num_gates circuit.subject)
+      jobs map_s place_s route_s matches matches_per_sec route_alloc_mb
+      routing.Router.violations
+      (List.length seq.Flow.iterations)
+      accepted_k seq_s par_s speedup identical;
+    close_out oc;
+    Printf.printf "  wrote %s\n" path);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -482,9 +603,12 @@ let micro_benchmarks () =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_all ~scale ~tables ~figures ~with_ablations ~with_micro =
-  let selective = tables <> [] || figures <> [] in
-  let want_table i = (not selective && figures = []) || List.mem i tables in
+let run_all ~scale ~tables ~figures ~with_ablations ~with_micro ~with_perf
+    ~jobs ~json =
+  let selective = tables <> [] || figures <> [] || with_perf in
+  let want_table i =
+    ((not selective) && figures = []) || List.mem i tables
+  in
   let want_figure i = (not selective) || List.mem i figures in
   if want_table 1 then table1 ~scale;
   if want_table 2 then table2 ~scale;
@@ -494,6 +618,7 @@ let run_all ~scale ~tables ~figures ~with_ablations ~with_micro =
   if want_figure 1 then figure1 ();
   if want_figure 3 then figure3 ~scale;
   if with_ablations then ablations ~scale;
+  if with_perf then perf_report ~scale ~jobs ~json;
   if with_micro then micro_benchmarks ()
 
 open Cmdliner
@@ -526,12 +651,32 @@ let no_micro_arg =
   let doc = "Skip the Bechamel micro-benchmarks (on by default)." in
   Arg.(value & flag & info [ "no-micro" ] ~doc)
 
-let main scale full tables figures ablation micro no_micro =
+let perf_arg =
+  let doc =
+    "Run the perf section: per-stage wall-clock (map, place, route), \
+     matches/sec, and the sequential-vs-parallel K-schedule sweep."
+  in
+  Arg.(value & flag & info [ "perf" ] ~doc)
+
+let jobs_arg =
+  let doc = "Domains for the parallel flow in the perf section." in
+  Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc =
+    "Write the perf section's measurements to $(docv) as JSON (implies \
+     $(b,--perf)); use BENCH_cals.json to track the perf trajectory."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let main scale full tables figures ablation micro no_micro perf jobs json =
   let scale = if full then 1.0 else scale in
-  let selective = tables <> [] || figures <> [] in
+  let with_perf = perf || json <> None in
+  let selective = tables <> [] || figures <> [] || with_perf in
   let with_micro = micro || ((not selective) && not no_micro) in
   let with_ablations = ablation in
-  run_all ~scale ~tables ~figures ~with_ablations ~with_micro
+  run_all ~scale ~tables ~figures ~with_ablations ~with_micro ~with_perf ~jobs
+    ~json
 
 let cmd =
   let doc = "Regenerate the paper's tables and figures" in
@@ -539,6 +684,6 @@ let cmd =
     (Cmd.info "cals-bench" ~doc)
     Term.(
       const main $ scale_arg $ full_arg $ table_arg $ figure_arg $ ablation_arg
-      $ micro_arg $ no_micro_arg)
+      $ micro_arg $ no_micro_arg $ perf_arg $ jobs_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -91,12 +91,18 @@ let run_map input scale seed optimize k utilization output =
 
 (* ------------------------- flow ------------------------- *)
 
-let run_flow input scale seed optimize utilization =
+let run_flow input scale seed optimize utilization jobs =
   let _, subject = prepare input scale seed optimize in
   let floorplan = floorplan_of subject utilization in
   Printf.printf "die: %s\n" (Floorplan.describe floorplan);
+  let rng = Cals_util.Rng.create (seed + 1) in
   let outcome =
-    Flow.run ~subject ~library ~floorplan ~rng:(Cals_util.Rng.create (seed + 1)) ()
+    if jobs > 1 then begin
+      Printf.printf "evaluating the K schedule speculatively on %d domains\n"
+        jobs;
+      Flow.run_parallel ~jobs ~subject ~library ~floorplan ~rng ()
+    end
+    else Flow.run ~subject ~library ~floorplan ~rng ()
   in
   List.iter
     (fun it ->
@@ -176,6 +182,13 @@ let utilization_arg =
   let doc = "Target core utilization used to derive the floorplan." in
   Arg.(value & opt float 0.55 & info [ "utilization" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate the flow's K schedule speculatively on $(docv) OCaml domains \
+     (1 = sequential). The result is identical to the sequential loop."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let output_arg =
   let doc = "Write the mapped netlist as structural Verilog." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
@@ -197,7 +210,7 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
       const run_flow $ input_arg $ scale_arg $ seed_arg $ optimize_arg
-      $ utilization_arg)
+      $ utilization_arg $ jobs_arg)
 
 let sta_cmd =
   let doc = "map, place, route and report static timing" in

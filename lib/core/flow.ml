@@ -92,3 +92,60 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
       else loop rest (iteration :: acc)
   in
   loop k_schedule []
+
+(* ---------------- Speculative parallel evaluation ---------------- *)
+
+let rec take_chunk n = function
+  | x :: rest when n > 0 ->
+    let chunk, tail = take_chunk (n - 1) rest in
+    (x :: chunk, tail)
+  | rest -> ([], rest)
+
+let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
+    ~jobs ~subject ~library ~floorplan ~rng () =
+  if jobs <= 1 then
+    run ~k_schedule ?router_config ?strategy ~subject ~library ~floorplan ~rng
+      ()
+  else begin
+    let positions = Placement.place_subject subject ~floorplan ~rng in
+    let pool = Cals_util.Pool.create ~jobs in
+    Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool) @@ fun () ->
+    (* Evaluate the schedule speculatively, [jobs] K points at a time.
+       Each chunk is scanned in schedule order and the loop stops at the
+       first acceptable iteration; speculative work past that point is
+       discarded, so the outcome is identical to the sequential [run]
+       ([evaluate_k] is deterministic and shares no mutable state). *)
+    let rec loop schedule acc =
+      match schedule with
+      | [] ->
+        { iterations = List.rev acc; accepted = None; mapped = None;
+          placement = None; routing = None }
+      | _ ->
+        let chunk, rest = take_chunk jobs schedule in
+        let results =
+          Cals_util.Pool.map_array pool
+            ~f:(fun _ k ->
+              evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
+                ~positions ~k ())
+            (Array.of_list chunk)
+        in
+        let n = Array.length results in
+        let rec scan i acc =
+          if i >= n then loop rest acc
+          else begin
+            let iteration, (mapped, placement, routing) = results.(i) in
+            if Congestion.acceptable iteration.report then
+              {
+                iterations = List.rev (iteration :: acc);
+                accepted = Some iteration;
+                mapped = Some mapped;
+                placement;
+                routing;
+              }
+            else scan (i + 1) (iteration :: acc)
+          end
+        in
+        scan 0 acc
+    in
+    loop k_schedule []
+  end

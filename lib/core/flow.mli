@@ -39,6 +39,25 @@ val run :
     netlist does not even fit the floorplan rows are recorded with an
     all-violations report and the loop moves on. *)
 
+val run_parallel :
+  ?k_schedule:float list ->
+  ?router_config:Cals_route.Router.config ->
+  ?strategy:Partition.strategy ->
+  jobs:int ->
+  subject:Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  rng:Cals_util.Rng.t ->
+  unit ->
+  outcome
+(** Same contract and same result as {!run}, but the K schedule is
+    evaluated speculatively on [jobs] OCaml domains, one chunk of [jobs]
+    consecutive K points at a time. Every K point is independent given
+    the shared subject graph and companion placement, so chunks evaluate
+    concurrently; the chunk is then scanned in schedule order and the
+    first acceptable iteration wins, with speculative work past it
+    discarded. [jobs <= 1] falls back to {!run} directly. *)
+
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->

@@ -11,6 +11,8 @@ type t = {
   vusage : float array;
   hhistory : float array;
   vhistory : float array;
+  hmark : Bytes.t;
+  vmark : Bytes.t;
 }
 
 type edge =
@@ -68,6 +70,8 @@ let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
     vusage = Array.make (cols * (rows - 1)) 0.0;
     hhistory = Array.make ((cols - 1) * rows) 0.0;
     vhistory = Array.make (cols * (rows - 1)) 0.0;
+    hmark = Bytes.make ((((cols - 1) * rows) + 7) / 8) '\000';
+    vmark = Bytes.make (((cols * (rows - 1)) + 7) / 8) '\000';
   }
 
 let gcell_of_point t p =
@@ -123,6 +127,28 @@ let add_history t e delta =
     t.vhistory.(i) <- t.vhistory.(i) +. delta
 
 let overflow t e = max 0.0 (usage t e -. capacity t e)
+
+(* Flat per-edge bitfield for the router's overflow marking: one bit per
+   edge, cleared wholesale at each negotiation iteration. *)
+let bit_set b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+
+let bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let mark_overflowed t = function
+  | H (c, r) -> bit_set t.hmark (hindex t c r)
+  | V (c, r) -> bit_set t.vmark (vindex t c r)
+
+let is_overflowed t = function
+  | H (c, r) -> bit_get t.hmark (hindex t c r)
+  | V (c, r) -> bit_get t.vmark (vindex t c r)
+
+let clear_overflow_marks t =
+  Bytes.fill t.hmark 0 (Bytes.length t.hmark) '\000';
+  Bytes.fill t.vmark 0 (Bytes.length t.vmark) '\000'
 
 let iter_edges t f =
   for r = 0 to t.rows - 1 do

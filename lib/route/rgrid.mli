@@ -19,6 +19,8 @@ type t = private {
   vusage : float array;
   hhistory : float array;
   vhistory : float array;
+  hmark : Bytes.t;  (** Overflow-mark bitfield, one bit per horizontal edge. *)
+  vmark : Bytes.t;  (** Same for vertical edges. *)
 }
 
 type edge =
@@ -56,6 +58,17 @@ val total_overflow : t -> float
 val overflowed_edges : t -> edge list
 val max_utilization : t -> float
 val reset_usage : t -> unit
+
+val mark_overflowed : t -> edge -> unit
+(** Set the edge's bit in the overflow-mark bitfield. The marks are a
+    scratch set owned by the router's negotiation loop — they carry no
+    meaning between iterations and are unrelated to {!overflow}. *)
+
+val is_overflowed : t -> edge -> bool
+(** Whether {!mark_overflowed} was called since the last
+    {!clear_overflow_marks}. *)
+
+val clear_overflow_marks : t -> unit
 
 val congestion_map : t -> Cals_util.Grid2d.t
 (** Per-gcell maximum of the utilizations of its incident edges. *)

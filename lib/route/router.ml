@@ -47,110 +47,195 @@ let edge_cost cfg grid e =
   let congestion = if over > 0.0 then cfg.overflow_penalty *. over else 0.0 in
   1.0 +. congestion +. Rgrid.history grid e
 
-(* Edges of a monotone staircase path through the given corner points. *)
+(* Edges of a monotone staircase path through the given corner points.
+   One shared accumulator; no list appends. *)
 let edges_of_corners corners =
-  let rec straight (c1, r1) (c2, r2) acc =
+  let rec straight (c1, r1) ((c2, r2) as dst) acc =
     if c1 = c2 && r1 = r2 then acc
     else if r1 = r2 then
       let step = if c2 > c1 then 1 else -1 in
       let edge_c = if step > 0 then c1 else c1 - 1 in
-      straight (c1 + step, r1) (c2, r2) (Rgrid.H (edge_c, r1) :: acc)
+      straight (c1 + step, r1) dst (Rgrid.H (edge_c, r1) :: acc)
     else begin
       let step = if r2 > r1 then 1 else -1 in
       let edge_r = if step > 0 then r1 else r1 - 1 in
-      straight (c1, r1 + step) (c2, r2) (Rgrid.V (c1, edge_r) :: acc)
+      straight (c1, r1 + step) dst (Rgrid.V (c1, edge_r) :: acc)
     end
   in
-  let rec walk = function
-    | [] | [ _ ] -> []
-    | a :: b :: rest -> straight a b [] @ walk (b :: rest)
+  let rec walk acc = function
+    | [] | [ _ ] -> acc
+    | a :: (b :: _ as rest) -> walk (straight a b acc) rest
   in
-  walk corners
-
-let path_cost cfg grid path =
-  List.fold_left (fun acc e -> acc +. edge_cost cfg grid e) 0.0 path
+  walk [] corners
 
 (* Candidate pattern paths between two gcells: both Ls plus single-bend Z
-   shapes through the midpoint in each dimension. *)
+   shapes through the midpoint in each dimension. A Z whose midpoint
+   coincides with an endpoint duplicates an L and is skipped. *)
 let pattern_candidates (c1, r1) (c2, r2) =
   let l1 = [ (c1, r1); (c2, r1); (c2, r2) ] in
   let l2 = [ (c1, r1); (c1, r2); (c2, r2) ] in
   let mid_c = (c1 + c2) / 2 and mid_r = (r1 + r2) / 2 in
-  let z1 = [ (c1, r1); (mid_c, r1); (mid_c, r2); (c2, r2) ] in
-  let z2 = [ (c1, r1); (c1, mid_r); (c2, mid_r); (c2, r2) ] in
-  List.map edges_of_corners [ l1; l2; z1; z2 ]
+  let zs =
+    if mid_r <> r1 && mid_r <> r2 then
+      [ [ (c1, r1); (c1, mid_r); (c2, mid_r); (c2, r2) ] ]
+    else []
+  in
+  let zs =
+    if mid_c <> c1 && mid_c <> c2 then
+      [ (c1, r1); (mid_c, r1); (mid_c, r2); (c2, r2) ] :: zs
+    else zs
+  in
+  List.map edges_of_corners (l1 :: l2 :: zs)
 
 let commit grid path = List.iter (fun e -> Rgrid.add_usage grid e 1.0) path
 let rip_up grid path = List.iter (fun e -> Rgrid.add_usage grid e (-1.0)) path
+
+(* Cost of [path], giving up as soon as the running sum reaches [cutoff]
+   (the best complete candidate so far), so losing candidates are only
+   costed up to the point where they lose. *)
+let path_cost_within cfg grid ~cutoff path =
+  let rec go acc = function
+    | [] -> acc
+    | e :: rest ->
+      let acc = acc +. edge_cost cfg grid e in
+      if acc >= cutoff then infinity else go acc rest
+  in
+  go 0.0 path
 
 let pattern_route cfg grid seg =
   let a, b = seg.ends in
   if a = b then seg.path <- []
   else begin
-    let candidates = pattern_candidates a b in
-    let best =
-      List.fold_left
-        (fun best path ->
-          let cost = path_cost cfg grid path in
-          match best with
-          | Some (bc, _) when bc <= cost -> best
-          | Some _ | None -> Some (cost, path))
-        None candidates
-    in
-    match best with
-    | Some (_, path) ->
-      seg.path <- path;
-      commit grid path
-    | None -> seg.path <- []
+    let best_cost = ref infinity and best = ref [] in
+    List.iter
+      (fun path ->
+        let cost = path_cost_within cfg grid ~cutoff:!best_cost path in
+        if cost < !best_cost || !best = [] then begin
+          best_cost := cost;
+          best := path
+        end)
+      (pattern_candidates a b);
+    seg.path <- !best;
+    commit grid !best
   end
 
-(* Dijkstra over gcells. *)
-let maze_route cfg grid (src, dst) =
+(* Reusable maze-route scratch state. [dist]/[prev] entries are valid only
+   when the cell's [stamp] equals the current generation, so consecutive
+   calls share the arrays without clearing them. *)
+type scratch = {
+  mutable dist : float array;
+  mutable prev : int array;
+  mutable stamp : int array;
+  mutable gen : int;
+  frontier : Pqueue.Int.t;
+}
+
+let create_scratch n =
+  let n = max 1 n in
+  {
+    dist = Array.make n infinity;
+    prev = Array.make n (-1);
+    stamp = Array.make n 0;
+    gen = 0;
+    frontier = Pqueue.Int.create ();
+  }
+
+let ensure_scratch s n =
+  if Array.length s.dist < n then begin
+    s.dist <- Array.make n infinity;
+    s.prev <- Array.make n (-1);
+    s.stamp <- Array.make n 0;
+    s.gen <- 0
+  end
+
+(* A* over gcells. The heuristic is Manhattan distance times the minimum
+   edge cost (edge_cost >= 1.0), which is admissible and consistent, so
+   the first pop of the target is optimal — exactly Dijkstra's answer.
+   Stale queue entries (lazy decrease-key) satisfy f > dist + h and are
+   skipped. The inner loop indexes the grid's flat capacity/usage/history
+   arrays directly and pushes int cell indices into the unboxed queue, so
+   it allocates nothing; only the final backtrack builds a path. *)
+let maze_route cfg grid scratch (src, dst) =
   let cols = grid.Rgrid.cols and rows = grid.Rgrid.rows in
   let n = cols * rows in
-  let idx (c, r) = (r * cols) + c in
-  let dist = Array.make n infinity in
-  let via = Array.make n None in
-  (* via.(v) = Some (edge, previous cell) *)
-  let q = Pqueue.create () in
-  dist.(idx src) <- 0.0;
-  Pqueue.push q 0.0 src;
-  let finished = ref false in
-  while (not !finished) && not (Pqueue.is_empty q) do
-    match Pqueue.pop q with
-    | None -> finished := true
-    | Some (d, cell) ->
-      if cell = dst then finished := true
-      else if d <= dist.(idx cell) then begin
-        let c, r = cell in
-        let try_move cell' edge =
-          let cost = d +. edge_cost cfg grid edge in
-          if cost < dist.(idx cell') then begin
-            dist.(idx cell') <- cost;
-            via.(idx cell') <- Some (edge, cell);
-            Pqueue.push q cost cell'
-          end
-        in
-        if c + 1 < cols then try_move (c + 1, r) (Rgrid.H (c, r));
-        if c - 1 >= 0 then try_move (c - 1, r) (Rgrid.H (c - 1, r));
-        if r + 1 < rows then try_move (c, r + 1) (Rgrid.V (c, r));
-        if r - 1 >= 0 then try_move (c, r - 1) (Rgrid.V (c, r - 1))
-      end
-  done;
-  if dist.(idx dst) = infinity then None
+  ensure_scratch scratch n;
+  scratch.gen <- scratch.gen + 1;
+  let gen = scratch.gen in
+  let dist = scratch.dist and prev = scratch.prev and stamp = scratch.stamp in
+  let q = scratch.frontier in
+  Pqueue.Int.clear q;
+  let hcap = grid.Rgrid.hcap
+  and husage = grid.Rgrid.husage
+  and hhist = grid.Rgrid.hhistory in
+  let vcap = grid.Rgrid.vcap
+  and vusage = grid.Rgrid.vusage
+  and vhist = grid.Rgrid.vhistory in
+  let penalty = cfg.overflow_penalty in
+  let hedge_cost i =
+    let over = husage.(i) +. 1.0 -. hcap.(i) in
+    1.0 +. (if over > 0.0 then penalty *. over else 0.0) +. hhist.(i)
+  in
+  let vedge_cost i =
+    let over = vusage.(i) +. 1.0 -. vcap.(i) in
+    1.0 +. (if over > 0.0 then penalty *. over else 0.0) +. vhist.(i)
+  in
+  let sc, sr = src and dc, dr = dst in
+  let sidx = (sr * cols) + sc and didx = (dr * cols) + dc in
+  let h c r = float_of_int (abs (c - dc) + abs (r - dr)) in
+  let relax v g nidx nc nr edge_cost =
+    let cost = g +. edge_cost in
+    if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
+      dist.(nidx) <- cost;
+      stamp.(nidx) <- gen;
+      prev.(nidx) <- v;
+      Pqueue.Int.push q (cost +. h nc nr) nidx
+    end
+  in
+  dist.(sidx) <- 0.0;
+  stamp.(sidx) <- gen;
+  prev.(sidx) <- -1;
+  Pqueue.Int.push q (h sc sr) sidx;
+  let found = ref false in
+  (try
+     while not (Pqueue.Int.is_empty q) do
+       let f = Pqueue.Int.min_prio q in
+       let v = Pqueue.Int.pop q in
+       let c = v mod cols and r = v / cols in
+       let g = dist.(v) in
+       if f <= g +. h c r then begin
+         if v = didx then begin
+           found := true;
+           raise Exit
+         end;
+         if c + 1 < cols then
+           relax v g (v + 1) (c + 1) r (hedge_cost ((r * (cols - 1)) + c));
+         if c > 0 then
+           relax v g (v - 1) (c - 1) r (hedge_cost ((r * (cols - 1)) + c - 1));
+         if r + 1 < rows then
+           relax v g (v + cols) c (r + 1) (vedge_cost ((r * cols) + c));
+         if r > 0 then
+           relax v g (v - cols) c (r - 1) (vedge_cost (((r - 1) * cols) + c))
+       end
+     done
+   with Exit -> ());
+  if not !found then None
   else begin
-    let rec backtrack cell acc =
-      if cell = src then acc
-      else
-        match via.(idx cell) with
-        | Some (edge, prev) -> backtrack prev (edge :: acc)
-        | None -> acc
+    let rec backtrack v acc =
+      if v = sidx then acc
+      else begin
+        let p = prev.(v) in
+        let pc = p mod cols and pr = p / cols in
+        let c = v mod cols and r = v / cols in
+        let edge =
+          if pr = r then Rgrid.H (min pc c, r) else Rgrid.V (c, min pr r)
+        in
+        backtrack p (edge :: acc)
+      end
     in
-    Some (backtrack dst [])
+    Some (backtrack didx [])
   end
 
-let path_uses_overflow overflowed path =
-  List.exists (fun e -> Hashtbl.mem overflowed e) path
+let path_uses_overflow grid path = List.exists (Rgrid.is_overflowed grid) path
 
 let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
   let grid =
@@ -190,21 +275,23 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
       compare (len b) (len a))
     order;
   Array.iter (fun i -> pattern_route config grid segments.(i)) order;
-  (* Negotiated rip-up and reroute. *)
+  (* Negotiated rip-up and reroute. One scratch serves every maze call on
+     this grid; generation stamps make reuse free. *)
+  let scratch = create_scratch (grid.Rgrid.cols * grid.Rgrid.rows) in
   let iteration = ref 0 in
   while !iteration < config.reroute_iterations && Rgrid.total_overflow grid > 0.0 do
     incr iteration;
-    let overflowed = Hashtbl.create 64 in
+    Rgrid.clear_overflow_marks grid;
     List.iter
       (fun e ->
-        Hashtbl.replace overflowed e ();
+        Rgrid.mark_overflowed grid e;
         Rgrid.add_history grid e config.history_increment)
       (Rgrid.overflowed_edges grid);
     Array.iter
       (fun seg ->
-        if seg.path <> [] && path_uses_overflow overflowed seg.path then begin
+        if seg.path <> [] && path_uses_overflow grid seg.path then begin
           rip_up grid seg.path;
-          match maze_route config grid seg.ends with
+          match maze_route config grid scratch seg.ends with
           | Some path ->
             seg.path <- path;
             commit grid path

@@ -5,6 +5,11 @@ type 'a t = {
   mutable size : int;
 }
 
+(* Well-formed entry used to blank freed slots, so the backing array never
+   keeps popped or cleared values live. Its [value] field is never read:
+   slots at indices >= size are overwritten before their next read. *)
+let dummy_entry () : 'a entry = Obj.magic { prio = nan; value = () }
+
 let create () = { data = [||]; size = 0 }
 let is_empty q = q.size = 0
 let length q = q.size
@@ -13,7 +18,7 @@ let grow q =
   let cap = Array.length q.data in
   if q.size >= cap then begin
     let ncap = max 16 (cap * 2) in
-    let ndata = Array.make ncap q.data.(0) in
+    let ndata = Array.make ncap (dummy_entry ()) in
     Array.blit q.data 0 ndata 0 q.size;
     q.data <- ndata
   end
@@ -42,10 +47,8 @@ let rec sift_down q i =
   end
 
 let push q prio value =
-  let entry = { prio; value } in
-  if q.size = 0 && Array.length q.data = 0 then q.data <- Array.make 16 entry;
   grow q;
-  q.data.(q.size) <- entry;
+  q.data.(q.size) <- { prio; value };
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
@@ -56,10 +59,91 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.data.(0) <- q.data.(q.size);
+      q.data.(q.size) <- dummy_entry ();
       sift_down q 0
-    end;
+    end
+    else q.data.(0) <- dummy_entry ();
     Some (top.prio, top.value)
   end
 
 let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
-let clear q = q.size <- 0
+
+let clear q =
+  q.data <- [||];
+  q.size <- 0
+
+(* ---------------- Unboxed int-payload variant ---------------- *)
+
+module Int = struct
+  type t = {
+    mutable prio : float array;  (* flat float array: unboxed storage *)
+    mutable data : int array;
+    mutable size : int;
+  }
+
+  let create ?(capacity = 16) () =
+    let capacity = max 1 capacity in
+    { prio = Array.make capacity 0.0; data = Array.make capacity 0; size = 0 }
+
+  let is_empty q = q.size = 0
+  let length q = q.size
+  let clear q = q.size <- 0
+
+  let grow q =
+    if q.size >= Array.length q.data then begin
+      let ncap = max 16 (2 * Array.length q.data) in
+      let nprio = Array.make ncap 0.0 and ndata = Array.make ncap 0 in
+      Array.blit q.prio 0 nprio 0 q.size;
+      Array.blit q.data 0 ndata 0 q.size;
+      q.prio <- nprio;
+      q.data <- ndata
+    end
+
+  let swap q i j =
+    let p = q.prio.(i) and d = q.data.(i) in
+    q.prio.(i) <- q.prio.(j);
+    q.data.(i) <- q.data.(j);
+    q.prio.(j) <- p;
+    q.data.(j) <- d
+
+  let rec sift_up q i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if q.prio.(i) < q.prio.(parent) then begin
+        swap q i parent;
+        sift_up q parent
+      end
+    end
+
+  let rec sift_down q i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < q.size && q.prio.(l) < q.prio.(!smallest) then smallest := l;
+    if r < q.size && q.prio.(r) < q.prio.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap q i !smallest;
+      sift_down q !smallest
+    end
+
+  let push q prio value =
+    grow q;
+    q.prio.(q.size) <- prio;
+    q.data.(q.size) <- value;
+    q.size <- q.size + 1;
+    sift_up q (q.size - 1)
+
+  let min_prio q =
+    if q.size = 0 then invalid_arg "Pqueue.Int.min_prio: empty";
+    q.prio.(0)
+
+  let pop q =
+    if q.size = 0 then invalid_arg "Pqueue.Int.pop: empty";
+    let v = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.prio.(0) <- q.prio.(q.size);
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    v
+end

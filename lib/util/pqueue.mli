@@ -2,7 +2,10 @@
 
     Used by the maze router (Dijkstra wavefront) and the MST net-topology
     builder. Decrease-key is handled by lazy deletion: push the element again
-    with the smaller priority and ignore stale pops at the caller. *)
+    with the smaller priority and ignore stale pops at the caller.
+
+    Freed heap slots are blanked and {!clear} releases the backing array,
+    so the queue never keeps popped or cleared values live. *)
 
 type 'a t
 
@@ -17,4 +20,34 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element. *)
 
 val peek : 'a t -> (float * 'a) option
+
 val clear : 'a t -> unit
+(** Empties the queue and releases the backing array, dropping every
+    reference the queue held. *)
+
+(** Min-queue specialized to [int] payloads, backed by a flat unboxed
+    [float array] of priorities and an [int array] of values. [push] and
+    [pop] allocate nothing (amortized: [push] may grow the backing
+    arrays), which keeps them out of the maze router's inner loop GC
+    traffic. *)
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val is_empty : t -> bool
+  val length : t -> int
+
+  val clear : t -> unit
+  (** Constant time; int/float slots cannot pin heap values. *)
+
+  val push : t -> float -> int -> unit
+
+  val min_prio : t -> float
+  (** Priority of the minimum element.
+      @raise Invalid_argument on an empty queue. *)
+
+  val pop : t -> int
+  (** Remove and return the minimum-priority value. Read {!min_prio}
+      first if the priority is needed — returning both would allocate.
+      @raise Invalid_argument on an empty queue. *)
+end

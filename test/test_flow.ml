@@ -108,6 +108,92 @@ let test_flow_metrics_consistent () =
       it.Flow.report.Congestion.violations
   | None -> Alcotest.fail "routing expected"
 
+(* run_parallel must reproduce the sequential outcome exactly: same K
+   points evaluated (speculative extras discarded), same accepted K, and
+   bit-identical metrics, on both PLA-style preset families. *)
+let parallel_matches_sequential make_network seed utilization () =
+  let net = make_network () in
+  Cals_logic.Network.sweep net;
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization ~aspect:1.0 ~geometry
+  in
+  let seq =
+    Flow.run ~subject ~library:lib ~floorplan ~rng:(Rng.create seed) ()
+  in
+  let par =
+    Flow.run_parallel ~jobs:4 ~subject ~library:lib ~floorplan
+      ~rng:(Rng.create seed) ()
+  in
+  Alcotest.(check (option (float 0.0)))
+    "same accepted K"
+    (Option.map (fun it -> it.Flow.k) seq.Flow.accepted)
+    (Option.map (fun it -> it.Flow.k) par.Flow.accepted);
+  Alcotest.(check (list (float 0.0)))
+    "same iteration schedule"
+    (List.map (fun it -> it.Flow.k) seq.Flow.iterations)
+    (List.map (fun it -> it.Flow.k) par.Flow.iterations);
+  List.iter2
+    (fun (a : Flow.iteration) (b : Flow.iteration) ->
+      Alcotest.(check int) "cells" a.Flow.cells b.Flow.cells;
+      Alcotest.(check (float 0.0)) "cell area" a.Flow.cell_area b.Flow.cell_area;
+      Alcotest.(check (float 0.0)) "hpwl" a.Flow.hpwl_um b.Flow.hpwl_um;
+      Alcotest.(check int) "violations" a.Flow.report.Congestion.violations
+        b.Flow.report.Congestion.violations;
+      Alcotest.(check (float 0.0)) "wirelength"
+        a.Flow.report.Congestion.wirelength_um
+        b.Flow.report.Congestion.wirelength_um)
+    seq.Flow.iterations par.Flow.iterations;
+  (match (seq.Flow.routing, par.Flow.routing) with
+  | Some a, Some b ->
+    Alcotest.(check (float 0.0)) "routed wirelength" a.Router.wirelength_um
+      b.Router.wirelength_um;
+    Alcotest.(check int) "routed violations" a.Router.violations
+      b.Router.violations
+  | None, None -> ()
+  | _ -> Alcotest.fail "routing presence differs");
+  match (seq.Flow.mapped, par.Flow.mapped) with
+  | Some a, Some b ->
+    Alcotest.(check int) "mapped cells" (Mapped.num_cells a) (Mapped.num_cells b)
+  | None, None -> ()
+  | _ -> Alcotest.fail "mapped presence differs"
+
+let test_parallel_spla_like =
+  parallel_matches_sequential
+    (fun () -> Cals_workload.Presets.spla_like ~scale:0.04 ~seed:7 ())
+    12 0.55
+
+let test_parallel_pdc_like =
+  parallel_matches_sequential
+    (fun () -> Cals_workload.Presets.pdc_like ~scale:0.04 ~seed:11 ())
+    13 0.6
+
+let test_parallel_tight_floorplan_walks_schedule () =
+  (* Nothing legalizes: both flows must walk the whole schedule and agree
+     that no K is acceptable, with the parallel chunks stitched back in
+     schedule order. *)
+  let net = small_circuit 2 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan = Floorplan.of_rows ~num_rows:4 ~sites_per_row:40 ~geometry in
+  let schedule = [ 0.0; 0.0005; 0.001; 0.005; 0.01 ] in
+  let seq =
+    Flow.run ~k_schedule:schedule ~subject ~library:lib ~floorplan
+      ~rng:(Rng.create 3) ()
+  in
+  let par =
+    Flow.run_parallel ~k_schedule:schedule ~jobs:2 ~subject ~library:lib
+      ~floorplan ~rng:(Rng.create 3) ()
+  in
+  Alcotest.(check bool) "no accepted" true (par.Flow.accepted = None);
+  Alcotest.(check (list (float 1e-12)))
+    "all ks in order" schedule
+    (List.map (fun it -> it.Flow.k) par.Flow.iterations);
+  Alcotest.(check int) "same count"
+    (List.length seq.Flow.iterations)
+    (List.length par.Flow.iterations)
+
 let test_full_pipeline_sis_vs_baseline () =
   (* Table-1-shaped experiment in miniature: the aggressively optimized
      netlist has smaller decomposed cell area after min-area mapping. *)
@@ -174,6 +260,15 @@ let () =
           Alcotest.test_case "function preserved" `Quick
             test_flow_function_preserved_through_accepted;
           Alcotest.test_case "metrics consistent" `Quick test_flow_metrics_consistent;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "spla-like determinism" `Quick
+            test_parallel_spla_like;
+          Alcotest.test_case "pdc-like determinism" `Quick
+            test_parallel_pdc_like;
+          Alcotest.test_case "tight floorplan" `Quick
+            test_parallel_tight_floorplan_walks_schedule;
         ] );
       ( "pipeline",
         [

@@ -2,6 +2,7 @@ module Rng = Cals_util.Rng
 module Geom = Cals_util.Geom
 module Pqueue = Cals_util.Pqueue
 module Union_find = Cals_util.Union_find
+module Pool = Cals_util.Pool
 module Grid2d = Cals_util.Grid2d
 module Tables = Cals_util.Tables
 
@@ -155,6 +156,149 @@ let pqueue_heap_property =
       in
       drain neg_infinity)
 
+let test_pqueue_push_pop_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 3;
+  Pqueue.push q 1.0 1;
+  Alcotest.(check (option (pair (float 1e-9) int))) "first min" (Some (1.0, 1))
+    (Pqueue.pop q);
+  Pqueue.push q 0.5 0;
+  Pqueue.push q 2.0 2;
+  Alcotest.(check (option (pair (float 1e-9) int))) "new min" (Some (0.5, 0))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 1e-9) int))) "then 2" (Some (2.0, 2))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 1e-9) int))) "then 3" (Some (3.0, 3))
+    (Pqueue.pop q);
+  Alcotest.(check bool) "drained" true (Pqueue.pop q = None)
+
+let test_pqueue_clear_reuse () =
+  let q = Pqueue.create () in
+  for i = 0 to 99 do
+    Pqueue.push q (float_of_int (100 - i)) i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check int) "cleared length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "cleared pop" true (Pqueue.pop q = None);
+  Pqueue.push q 2.0 7;
+  Pqueue.push q 1.0 9;
+  Alcotest.(check (option (pair (float 1e-9) int))) "usable after clear"
+    (Some (1.0, 9)) (Pqueue.pop q)
+
+(* The backing array must not pin popped or cleared values live: weak
+   pointers to the payloads must empty after a major GC. *)
+let test_pqueue_no_space_leak () =
+  let q = Pqueue.create () in
+  let w = Weak.create 3 in
+  List.iteri
+    (fun i p ->
+      let v = ref (Array.make 64 p) in
+      Weak.set w i (Some v);
+      Pqueue.push q p v)
+    [ 3.0; 1.0; 2.0 ];
+  ignore (Pqueue.pop q);
+  (* One popped, two cleared: none may stay reachable through the queue. *)
+  Pqueue.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d released" i)
+      false (Weak.check w i)
+  done
+
+(* ------------------------- Pqueue.Int ------------------------- *)
+
+let test_ipqueue_order () =
+  let q = Pqueue.Int.create () in
+  List.iter
+    (fun p -> Pqueue.Int.push q p (int_of_float p))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "length" 5 (Pqueue.Int.length q);
+  let popped = ref [] in
+  while not (Pqueue.Int.is_empty q) do
+    let p = Pqueue.Int.min_prio q in
+    let v = Pqueue.Int.pop q in
+    check_float "prio matches value" (float_of_int v) p;
+    popped := v :: !popped
+  done;
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !popped);
+  (* Clear then reuse. *)
+  Pqueue.Int.push q 9.0 9;
+  Pqueue.Int.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.Int.is_empty q);
+  Pqueue.Int.push q 1.0 1;
+  Alcotest.(check int) "usable after clear" 1 (Pqueue.Int.pop q)
+
+let test_ipqueue_empty_raises () =
+  let q = Pqueue.Int.create () in
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Pqueue.Int.pop: empty") (fun () ->
+      ignore (Pqueue.Int.pop q));
+  Alcotest.check_raises "min_prio empty"
+    (Invalid_argument "Pqueue.Int.min_prio: empty") (fun () ->
+      ignore (Pqueue.Int.min_prio q))
+
+let ipqueue_heap_property =
+  QCheck.Test.make ~name:"Pqueue.Int pops in priority order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let q = Pqueue.Int.create () in
+      List.iteri (fun i f -> Pqueue.Int.push q f i) floats;
+      let rec drain last =
+        if Pqueue.Int.is_empty q then true
+        else begin
+          let p = Pqueue.Int.min_prio q in
+          let v = Pqueue.Int.pop q in
+          p >= last && v >= 0
+          && v < List.length floats
+          && List.nth floats v = p && drain p
+        end
+      in
+      drain neg_infinity)
+
+(* ------------------------- Pool ------------------------- *)
+
+let test_pool_map_array_matches_sequential () =
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "jobs clamped" 4 (Pool.jobs pool);
+  let arr = Array.init 101 (fun i -> i * 3) in
+  let expected = Array.mapi (fun i x -> i + (x * x)) arr in
+  for _ = 1 to 5 do
+    let got = Pool.map_array pool ~f:(fun i x -> i + (x * x)) arr in
+    Alcotest.(check (array int)) "matches Array.mapi" expected got
+  done;
+  Alcotest.(check (array int)) "empty input" [||]
+    (Pool.map_array pool ~f:(fun _ x -> x) [||]);
+  Alcotest.(check (array int)) "single element" [| 49 |]
+    (Pool.map_array pool ~f:(fun _ x -> x * x) [| 7 |])
+
+let test_pool_sequential_fallback () =
+  let pool = Pool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let got = Pool.map_array pool ~f:(fun i x -> i * x) (Array.make 10 3) in
+  Alcotest.(check (array int)) "jobs=1 works"
+    (Array.init 10 (fun i -> i * 3))
+    got
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  match
+    Pool.map_array pool
+      ~f:(fun i _ -> if i = 17 then failwith "boom" else i)
+      (Array.make 64 0)
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 in
+  ignore (Pool.map_array pool ~f:(fun i _ -> i) (Array.make 4 ()));
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
 (* ------------------------- Union_find ------------------------- *)
 
 let test_union_find_basic () =
@@ -255,7 +399,28 @@ let () =
           Alcotest.test_case "order" `Quick test_pqueue_order;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
           Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "interleaved push/pop" `Quick
+            test_pqueue_push_pop_interleaved;
+          Alcotest.test_case "clear reuse" `Quick test_pqueue_clear_reuse;
+          Alcotest.test_case "no space leak" `Quick test_pqueue_no_space_leak;
           qc pqueue_heap_property;
+        ] );
+      ( "pqueue_int",
+        [
+          Alcotest.test_case "order" `Quick test_ipqueue_order;
+          Alcotest.test_case "empty raises" `Quick test_ipqueue_empty_raises;
+          qc ipqueue_heap_property;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map_array" `Quick
+            test_pool_map_array_matches_sequential;
+          Alcotest.test_case "jobs=1 fallback" `Quick
+            test_pool_sequential_fallback;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
         ] );
       ( "union_find",
         [
