@@ -21,6 +21,10 @@ module Mapper = Cals_core.Mapper
 module Partition = Cals_core.Partition
 module Flow = Cals_core.Flow
 module Presets = Cals_workload.Presets
+module Probe = Cals_telemetry.Probe
+module Ring = Cals_telemetry.Ring
+module Metrics = Cals_telemetry.Metrics
+module Export = Cals_telemetry.Export
 
 let library = Cals_cell.Stdlib_018.library
 let geometry = Cals_cell.Library.geometry library
@@ -433,6 +437,11 @@ let same_outcome (a : Flow.outcome) (b : Flow.outcome) =
   && Option.map sig_of a.Flow.accepted = Option.map sig_of b.Flow.accepted
 
 let perf_report ~scale ~jobs ~json =
+  (* Record spans for the whole perf section so the JSON dump carries
+     per-stage statistics alongside the wall-clock numbers. *)
+  Ring.clear ();
+  Metrics.reset ();
+  Probe.enable ();
   let circuit = spla ~scale in
   Printf.printf "Perf: %s, %d base gates, jobs=%d (host reports %d cores)\n"
     circuit.name
@@ -496,13 +505,26 @@ let perf_report ~scale ~jobs ~json =
     jobs par_s speedup identical;
   if not identical then
     print_endline "  WARNING: parallel flow diverged from the sequential loop";
+  let spans = Export.span_stats () in
   (match json with
   | None -> ()
   | Some path ->
+    let spans_json =
+      spans
+      |> List.map (fun s ->
+             Printf.sprintf
+               "    { \"name\": \"%s\", \"cat\": \"%s\", \"count\": %d, \
+                \"total_s\": %.6f, \"mean_s\": %.6f, \"max_s\": %.6f }"
+               s.Export.s_name s.Export.s_cat s.Export.s_count
+               (s.Export.s_total_us /. 1e6)
+               (s.Export.s_mean_us /. 1e6)
+               (s.Export.s_max_us /. 1e6))
+      |> String.concat ",\n"
+    in
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 1,\n\
+      \  \"schema\": 2,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -523,16 +545,20 @@ let perf_report ~scale ~jobs ~json =
       \    \"parallel_s\": %.6f,\n\
       \    \"speedup\": %.3f,\n\
       \    \"parallel_identical\": %b\n\
-      \  }\n\
+      \  },\n\
+      \  \"spans\": [\n%s\n\
+      \  ]\n\
        }\n"
       circuit.name scale
       (Subject.num_gates circuit.subject)
       jobs map_s place_s route_s matches matches_per_sec route_alloc_mb
       routing.Router.violations
       (List.length seq.Flow.iterations)
-      accepted_k seq_s par_s speedup identical;
+      accepted_k seq_s par_s speedup identical spans_json;
     close_out oc;
     Printf.printf "  wrote %s\n" path);
+  print_string (Export.summary ());
+  Probe.disable ();
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -569,6 +595,28 @@ let micro_benchmarks () =
     | Some placement -> ignore (Sta.analyze p.mapped ~wire ~placement)
     | None -> ()
   in
+  (* Telemetry overhead check: the same maze-route workload with probes
+     disabled (the shipped default) and enabled. The disabled variant must
+     stay within noise of the pre-telemetry router. *)
+  let route_fixture =
+    lazy
+      (let c = Lazy.force circuit in
+       let r =
+         Mapper.map c.subject ~library ~positions:c.positions
+           (Mapper.congestion_aware ~k:0.001)
+       in
+       let mapped = r.Mapper.mapped in
+       let placement = Placement.place_mapped_seeded mapped ~floorplan:c.floorplan in
+       (c, mapped, placement))
+  in
+  let maze_work enabled () =
+    let c, mapped, placement = Lazy.force route_fixture in
+    if enabled then Probe.enable () else Probe.disable ();
+    ignore
+      (Router.route_mapped ~config:router_config mapped
+         ~floorplan:c.floorplan ~wire ~placement);
+    Probe.disable ()
+  in
   let tests =
     [
       Test.make ~name:"table1:sis-optimize" (Staged.stage table1_work);
@@ -576,6 +624,8 @@ let micro_benchmarks () =
       Test.make ~name:"table3:spla-sta" (Staged.stage table3_work);
       Test.make ~name:"table4:pdc-min-area-map" (Staged.stage table4_work);
       Test.make ~name:"table5:pdc-sta" (Staged.stage table5_work);
+      Test.make ~name:"route:maze-telemetry-off" (Staged.stage (maze_work false));
+      Test.make ~name:"route:maze-telemetry-on" (Staged.stage (maze_work true));
     ]
   in
   let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
@@ -588,15 +638,34 @@ let micro_benchmarks () =
     Benchmark.all cfg instances (Test.make_grouped ~name:"tables" tests)
   in
   let res = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-  res
-  |> Hashtbl.fold (fun name result acc -> (name, result) :: acc)
-  |> (fun f -> f [])
-  |> List.sort compare
-  |> List.iter (fun (name, result) ->
-         match Analyze.OLS.estimates result with
-         | Some (est :: _) ->
-           Printf.printf "  %-32s %10.3f ms/run\n" name (est /. 1e6)
-         | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name);
+  let estimates =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) res []
+    |> List.sort compare
+    |> List.map (fun (name, result) ->
+           match Analyze.OLS.estimates result with
+           | Some (est :: _) -> (name, Some est)
+           | Some [] | None -> (name, None))
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-32s %10.3f ms/run\n" name (est /. 1e6)
+      | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    estimates;
+  (* Overhead of the disabled probes relative to enabled ones is not the
+     interesting number; what matters is that "off" stays at the router's
+     raw speed. Report the on/off ratio so regressions are visible. *)
+  let find suffix =
+    List.find_map
+      (fun (name, est) ->
+        if String.ends_with ~suffix name then est else None)
+      estimates
+  in
+  (match (find "route:maze-telemetry-off", find "route:maze-telemetry-on") with
+  | Some off, Some on when off > 0.0 ->
+    Printf.printf "  telemetry-enabled maze route: %+.2f%% vs disabled\n"
+      (100.0 *. ((on /. off) -. 1.0))
+  | _ -> ());
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

@@ -19,6 +19,19 @@ module Congestion = Cals_route.Congestion
 module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Flow = Cals_core.Flow
+module Probe = Cals_telemetry.Probe
+module Export = Cals_telemetry.Export
+
+(* Map -v occurrences to a Logs level: 0 warnings, 1 info, 2+ debug. *)
+let setup_logs verbosity =
+  let level =
+    match List.length verbosity with
+    | 0 -> Logs.Warning
+    | 1 -> Logs.Info
+    | _ -> Logs.Debug
+  in
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some level)
 
 let library = Cals_cell.Stdlib_018.library
 let geometry = Cals_cell.Library.geometry library
@@ -91,7 +104,9 @@ let run_map input scale seed optimize k utilization output =
 
 (* ------------------------- flow ------------------------- *)
 
-let run_flow input scale seed optimize utilization jobs =
+let run_flow verbosity input scale seed optimize utilization jobs trace metrics =
+  setup_logs verbosity;
+  if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
   let floorplan = floorplan_of subject utilization in
   Printf.printf "die: %s\n" (Floorplan.describe floorplan);
@@ -110,13 +125,25 @@ let run_flow input scale seed optimize utilization jobs =
         (100.0 *. it.Flow.utilization)
         (Congestion.summary it.Flow.report))
     outcome.Flow.iterations;
-  match outcome.Flow.accepted with
-  | Some it ->
-    Printf.printf "accepted at K=%g\n" it.Flow.k;
-    0
-  | None ->
-    print_endline "no K in the schedule was acceptable";
-    1
+  let code =
+    match outcome.Flow.accepted with
+    | Some it ->
+      Printf.printf "accepted at K=%g\n" it.Flow.k;
+      0
+    | None ->
+      print_endline "no K in the schedule was acceptable";
+      1
+  in
+  (match trace with
+  | Some path ->
+    Export.write_chrome_trace path;
+    Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n" path
+  | None -> ());
+  (match metrics with
+  | Some ("prometheus" | "prom") -> print_string (Export.prometheus ())
+  | Some _ -> print_string (Export.summary ())
+  | None -> ());
+  code
 
 (* ------------------------- sta ------------------------- *)
 
@@ -158,9 +185,31 @@ let run_lib output =
 
 open Cmdliner
 
-let input_arg =
+let input_pos =
   let doc = "Input: a .blif or .pla file, or one of spla, pdc, too_large." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+
+let preset_arg =
+  let doc =
+    "Use the built-in synthetic workload $(docv) as input (one of spla, pdc, \
+     too_large). Equivalent to passing the name as INPUT."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("spla", "spla"); ("pdc", "pdc"); ("too_large", "too_large") ])) None
+    & info [ "preset" ] ~docv:"NAME" ~doc)
+
+(* One input source: either the positional INPUT or --preset. *)
+let input_arg =
+  let combine input preset =
+    match (input, preset) with
+    | None, Some p | Some p, None -> `Ok p
+    | Some i, Some p when String.equal i p -> `Ok p
+    | Some _, Some _ -> `Error (true, "give either INPUT or --preset, not both")
+    | None, None ->
+      `Error (true, "an input is required: positional INPUT or --preset")
+  in
+  Term.(ret (const combine $ input_pos $ preset_arg))
 
 let scale_arg =
   let doc = "Scale factor for the synthetic workloads." in
@@ -193,6 +242,28 @@ let output_arg =
   let doc = "Write the mapped netlist as structural Verilog." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record spans for the whole run and write a Chrome trace_event JSON file \
+     to $(docv) (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print collected metrics after the run: $(b,summary) for per-stage ASCII \
+     tables (the default when no format is given), $(b,prometheus) for the \
+     Prometheus text exposition format."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "summary") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let verbosity_arg =
+  let doc = "Increase log verbosity ($(b,-v): info, $(b,-vv): debug)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
 let stats_cmd =
   let doc = "print circuit statistics" in
   Cmd.v (Cmd.info "stats" ~doc)
@@ -209,8 +280,8 @@ let flow_cmd =
   let doc = "run the congestion-aware synthesis loop (Figure 3)" in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
-      const run_flow $ input_arg $ scale_arg $ seed_arg $ optimize_arg
-      $ utilization_arg $ jobs_arg)
+      const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
+      $ optimize_arg $ utilization_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let sta_cmd =
   let doc = "map, place, route and report static timing" in

@@ -20,6 +20,9 @@ let function_of_cell (cell : Cell.t) =
   | p :: _ -> expr p
 
 let print library =
+  Cals_telemetry.Span.with_ ~cat:"cell" ~meta:(Library.name library)
+    "cell.liberty"
+  @@ fun () ->
   let buf = Buffer.create 8192 in
   let geometry = Library.geometry library in
   let wire = Library.wire library in

@@ -4,6 +4,12 @@ module Mapped = Cals_netlist.Mapped
 module Cell = Cals_cell.Cell
 module Pattern = Cals_cell.Pattern
 module Library = Cals_cell.Library
+module Metrics = Cals_telemetry.Metrics
+
+let m_matches_per_vertex =
+  Metrics.histogram ~help:"Pattern matches tried per covered vertex"
+    ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+    "cover_matches_per_vertex"
 
 type objective =
   | Min_area
@@ -191,6 +197,7 @@ let run subject ~library ~partition ~positions options =
   in
   for v = 0 to n - 1 do
     if partition.Partition.live.(v) && is_gate v then begin
+      let evaluated_before = !evaluated in
       let best = ref None in
       List.iter
         (fun cell ->
@@ -212,6 +219,8 @@ let run subject ~library ~partition ~positions options =
         (* Cannot happen: INV and NAND2 always match. *)
         failwith "Cover.run: no match at a live gate"
       | Some sol ->
+        Metrics.observe m_matches_per_vertex
+          (float_of_int (!evaluated - evaluated_before));
         sols.(v) <- Some sol;
         node_com.(v) <- sol.com;
         node_wire.(v) <- sol.wire_cost;

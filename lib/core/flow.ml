@@ -3,6 +3,24 @@ module Floorplan = Cals_place.Floorplan
 module Router = Cals_route.Router
 module Congestion = Cals_route.Congestion
 module Mapped = Cals_netlist.Mapped
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
+
+let log_src = Logs.Src.create "cals.flow" ~doc:"Figure-3 methodology loop"
+
+module Log = (val Logs.src_log log_src)
+
+let m_k_evaluated =
+  Metrics.counter ~help:"K points evaluated (map+place+route)" "flow_k_evaluated"
+
+let m_speculative_discarded =
+  Metrics.counter
+    ~help:"Speculative K evaluations discarded past the accepted point"
+    "flow_speculative_discarded"
+
+let m_legalize_overflows =
+  Metrics.counter ~help:"K points whose netlist did not fit the floorplan"
+    "flow_legalize_overflows"
 
 type iteration = {
   k : float;
@@ -37,6 +55,9 @@ let overflow_report =
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
     ~floorplan ~positions ~k () =
+  Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
+  @@ fun () ->
+  Metrics.incr m_k_evaluated;
   let options = { (Mapper.congestion_aware ~k) with strategy } in
   let result = Mapper.map subject ~library ~positions options in
   let mapped = result.Mapper.mapped in
@@ -44,6 +65,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
   let utilization = Floorplan.utilization floorplan ~cell_area in
   match Placement.place_mapped_seeded mapped ~floorplan with
   | exception Cals_place.Legalize.Overflow _ ->
+    Metrics.incr m_legalize_overflows;
     ( {
         k;
         cells = Mapped.num_cells mapped;
@@ -69,19 +91,38 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
       },
       (mapped, Some placement, Some routing) )
 
+let log_rejected (it : iteration) =
+  Log.debug (fun m ->
+      m "K=%g rejected: overflow %.1f, %d violations, util %.2f%%" it.k
+        it.report.Congestion.total_overflow it.report.Congestion.violations
+        (100.0 *. it.utilization))
+
+let log_accepted (it : iteration) =
+  Log.info (fun m ->
+      m "K=%g accepted: overflow %.1f, %d cells, util %.2f%%" it.k
+        it.report.Congestion.total_overflow it.cells
+        (100.0 *. it.utilization))
+
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
     ~library ~floorplan ~rng () =
-  let positions = Placement.place_subject subject ~floorplan ~rng in
+  Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
+  let positions =
+    Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
+    Placement.place_subject subject ~floorplan ~rng
+  in
   let rec loop schedule acc =
     match schedule with
-    | [] -> { iterations = List.rev acc; accepted = None; mapped = None;
-              placement = None; routing = None }
+    | [] ->
+      Log.info (fun m -> m "no K in the schedule was acceptable");
+      { iterations = List.rev acc; accepted = None; mapped = None;
+        placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
         evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
           ~positions ~k ()
       in
-      if Congestion.acceptable iteration.report then
+      if Congestion.acceptable iteration.report then begin
+        log_accepted iteration;
         {
           iterations = List.rev (iteration :: acc);
           accepted = Some iteration;
@@ -89,7 +130,11 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
           placement;
           routing;
         }
-      else loop rest (iteration :: acc)
+      end
+      else begin
+        log_rejected iteration;
+        loop rest (iteration :: acc)
+      end
   in
   loop k_schedule []
 
@@ -107,7 +152,13 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
     run ~k_schedule ?router_config ?strategy ~subject ~library ~floorplan ~rng
       ()
   else begin
-    let positions = Placement.place_subject subject ~floorplan ~rng in
+    Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
+      "flow.run_parallel"
+    @@ fun () ->
+    let positions =
+      Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
+      Placement.place_subject subject ~floorplan ~rng
+    in
     let pool = Cals_util.Pool.create ~jobs in
     Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool) @@ fun () ->
     (* Evaluate the schedule speculatively, [jobs] K points at a time.
@@ -118,11 +169,17 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
     let rec loop schedule acc =
       match schedule with
       | [] ->
+        Log.info (fun m -> m "no K in the schedule was acceptable");
         { iterations = List.rev acc; accepted = None; mapped = None;
           placement = None; routing = None }
       | _ ->
         let chunk, rest = take_chunk jobs schedule in
+        let chunk_meta =
+          String.concat " "
+            (List.map (fun k -> Printf.sprintf "K=%g" k) chunk)
+        in
         let results =
+          Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
               evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
@@ -134,7 +191,17 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           if i >= n then loop rest acc
           else begin
             let iteration, (mapped, placement, routing) = results.(i) in
-            if Congestion.acceptable iteration.report then
+            if Congestion.acceptable iteration.report then begin
+              log_accepted iteration;
+              (* Everything past [i] in this chunk was speculative work
+                 the sequential loop would never have run. *)
+              let discarded = n - i - 1 in
+              if discarded > 0 then begin
+                Metrics.add m_speculative_discarded discarded;
+                Log.debug (fun m ->
+                    m "discarding %d speculative evaluation(s) past K=%g"
+                      discarded iteration.k)
+              end;
               {
                 iterations = List.rev (iteration :: acc);
                 accepted = Some iteration;
@@ -142,7 +209,11 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
                 placement;
                 routing;
               }
-            else scan (i + 1) (iteration :: acc)
+            end
+            else begin
+              log_rejected iteration;
+              scan (i + 1) (iteration :: acc)
+            end
           end
         in
         scan 0 acc

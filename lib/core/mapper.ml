@@ -1,3 +1,12 @@
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
+
+let m_matches =
+  Metrics.counter ~help:"Pattern matches evaluated by the tree coverer"
+    "mapper_matches_evaluated"
+
+let m_runs = Metrics.counter ~help:"Technology-mapping runs" "mapper_runs"
+
 type options = {
   k : float;
   wire_scale : float;
@@ -45,7 +54,11 @@ type result = {
 }
 
 let map subject ~library ~positions options =
+  Span.with_ ~cat:"map" ~meta:(Printf.sprintf "K=%g" options.k) "mapper.map"
+  @@ fun () ->
+  Metrics.incr m_runs;
   let partition =
+    Span.with_ ~cat:"map" "mapper.partition" @@ fun () ->
     Partition.run options.strategy subject ~positions ~distance:options.distance
   in
   let cover_options =
@@ -58,9 +71,15 @@ let map subject ~library ~positions options =
       transitive_wire = options.transitive_wire;
     }
   in
-  let cover = Cover.run subject ~library ~partition ~positions cover_options in
-  let extraction = Cover.extract cover in
+  let cover =
+    Span.with_ ~cat:"map" "mapper.cover" @@ fun () ->
+    Cover.run subject ~library ~partition ~positions cover_options
+  in
+  let extraction =
+    Span.with_ ~cat:"map" "mapper.extract" @@ fun () -> Cover.extract cover
+  in
   let mapped = extraction.Cover.mapped in
+  Metrics.add m_matches (Cover.matches_evaluated cover);
   let stats =
     {
       cells = Cals_netlist.Mapped.num_cells mapped;

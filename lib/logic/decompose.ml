@@ -1,4 +1,5 @@
 module Subject = Cals_netlist.Subject
+module Span = Cals_telemetry.Span
 
 (* Balanced pairwise reduction keeps tree depth logarithmic. *)
 let rec reduce combine = function
@@ -12,6 +13,10 @@ let rec reduce combine = function
     reduce combine (pair xs)
 
 let subject_of_network net =
+  Span.with_ ~cat:"logic"
+    ~meta:(Printf.sprintf "%d nodes" (Network.num_live_nodes net))
+    "logic.decompose"
+  @@ fun () ->
   let b = Subject.builder () in
   let pi_ids =
     Array.map (fun name -> Subject.add_pi b name) (Network.pi_names net)

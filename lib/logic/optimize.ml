@@ -1,3 +1,18 @@
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
+
+let m_cubes_extracted =
+  Metrics.counter ~help:"Common cubes extracted as new nodes"
+    "optimize_cubes_extracted"
+
+let m_kernels_extracted =
+  Metrics.counter ~help:"Kernel divisors extracted as new nodes"
+    "optimize_kernels_extracted"
+
+let m_eliminated =
+  Metrics.counter ~help:"Low-value nodes eliminated into their fanouts"
+    "optimize_nodes_eliminated"
+
 type stats = {
   live_nodes : int;
   literals : int;
@@ -348,12 +363,16 @@ let eliminate ?(value_threshold = 0) t =
 (* ------------------------------------------------------------------ *)
 
 let script_area ?(rounds = 2) t =
+  Span.with_ ~cat:"logic" ~meta:(Printf.sprintf "%d rounds" rounds)
+    "logic.script_area"
+  @@ fun () ->
   Network.sweep t;
   for _ = 1 to rounds do
-    ignore (extract_common_cubes t);
-    ignore (extract_kernels t);
-    ignore (eliminate ~value_threshold:0 t)
+    Metrics.add m_cubes_extracted (extract_common_cubes t);
+    Metrics.add m_kernels_extracted (extract_kernels t);
+    Metrics.add m_eliminated (eliminate ~value_threshold:0 t)
   done;
   Network.sweep t
 
-let script_light t = Network.sweep t
+let script_light t =
+  Span.with_ ~cat:"logic" "logic.script_light" @@ fun () -> Network.sweep t

@@ -108,6 +108,10 @@ let sanitize name =
   String.map (fun c -> if c = '[' || c = ']' || c = '.' || c = '-' then '_' else c) name
 
 let to_verilog ?(module_name = "mapped") t =
+  Cals_telemetry.Span.with_ ~cat:"netlist"
+    ~meta:(Printf.sprintf "%d cells" (Array.length t.instances))
+    "netlist.verilog"
+  @@ fun () ->
   let buf = Buffer.create 4096 in
   let pin_names = [| "a"; "b"; "c"; "d" |] in
   let wire = function

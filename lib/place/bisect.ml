@@ -1,8 +1,17 @@
 module Geom = Cals_util.Geom
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
 
 let leaf_size = 4
 
+let m_regions =
+  Metrics.counter ~help:"Bisection regions partitioned" "bisect_regions"
+
 let place (hg : Hypergraph.t) ~floorplan ~rng =
+  Span.with_ ~cat:"place"
+    ~meta:(Printf.sprintf "%d nodes" (Hypergraph.num_nodes hg))
+    "place.bisect"
+  @@ fun () ->
   let n = Hypergraph.num_nodes hg in
   let pos = Array.make n (Geom.point 0.0 0.0) in
   let center =
@@ -36,6 +45,7 @@ let place (hg : Hypergraph.t) ~floorplan ~rng =
   let rec split nodes net_ids (box : Geom.bbox) depth =
     if List.length nodes <= leaf_size || depth > 40 then distribute nodes box
     else begin
+      Metrics.incr m_regions;
       let vertical_cut = box.Geom.hx -. box.Geom.lx >= box.Geom.hy -. box.Geom.ly in
       let mid =
         if vertical_cut then (box.Geom.lx +. box.Geom.hx) /. 2.0

@@ -4,6 +4,19 @@ type problem = {
   locked : int option array;
 }
 
+module Metrics = Cals_telemetry.Metrics
+
+let m_passes = Metrics.counter ~help:"FM bipartition passes run" "fm_passes"
+
+let m_moves =
+  Metrics.counter ~help:"FM gain-bucket moves applied (before rollback)"
+    "fm_moves"
+
+let m_improvement =
+  Metrics.histogram ~help:"Cut-size improvement per FM pass"
+    ~buckets:[| 0.0; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+    "fm_pass_improvement"
+
 let cut_size p side =
   Array.fold_left
     (fun acc net ->
@@ -233,6 +246,9 @@ let bipartition ?(max_passes = 8) ?(balance_tolerance = 0.1) ~rng p =
         end
     in
     undo to_undo !moves;
+    Metrics.incr m_passes;
+    Metrics.add m_moves !nmoves;
+    Metrics.observe m_improvement (float_of_int (start_cut - !best_cut));
     start_cut - !best_cut
   in
   let rec loop i =

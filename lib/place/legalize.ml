@@ -1,6 +1,14 @@
 module Geom = Cals_util.Geom
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
 
 exception Overflow of string
+
+let m_cells = Metrics.counter ~help:"Cells legalized onto rows" "legalize_cells"
+
+let m_displacement =
+  Metrics.gauge ~help:"Total displacement of the last legalization (um)"
+    "legalize_displacement_um"
 
 type result = {
   positions : Geom.point array;
@@ -9,6 +17,7 @@ type result = {
 }
 
 let run ~floorplan ~widths ~desired ~movable =
+  Span.with_ ~cat:"place" "place.legalize" @@ fun () ->
   let fp = floorplan in
   let n = Array.length widths in
   if Array.length desired <> n || Array.length movable <> n then
@@ -81,4 +90,6 @@ let run ~floorplan ~widths ~desired ~movable =
       displacement := !displacement +. cost
   in
   List.iter place_cell order;
+  Metrics.add m_cells (List.length order);
+  Metrics.set m_displacement !displacement;
   { positions; total_displacement = !displacement; row_fill = Array.copy next_free }

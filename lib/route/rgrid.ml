@@ -1,5 +1,11 @@
 module Geom = Cals_util.Geom
 module Floorplan = Cals_place.Floorplan
+module Metrics = Cals_telemetry.Metrics
+
+let m_grids = Metrics.counter ~help:"Routing grids built" "rgrid_created"
+
+let g_gcells =
+  Metrics.gauge ~help:"Gcells in the last routing grid built" "rgrid_gcells"
 
 type t = {
   cols : int;
@@ -60,6 +66,8 @@ let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
       vcap.((r * cols) + c) <- tracks *. (nv +. (m1_free *. (1.0 -. d)))
     done
   done;
+  Metrics.incr m_grids;
+  Metrics.set g_gcells (float_of_int (cols * rows));
   {
     cols;
     rows;

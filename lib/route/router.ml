@@ -1,6 +1,30 @@
 module Geom = Cals_util.Geom
 module Pqueue = Cals_util.Pqueue
 module Mapped = Cals_netlist.Mapped
+module Probe = Cals_telemetry.Probe
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
+
+let m_maze_calls = Metrics.counter ~help:"Maze-route invocations" "route_maze_calls"
+let m_maze_pops = Metrics.counter ~help:"Frontier pops across maze routes" "route_maze_pops"
+
+let m_ripup_iterations =
+  Metrics.counter ~help:"Negotiated rip-up and reroute iterations"
+    "route_ripup_iterations"
+
+let m_rerouted =
+  Metrics.counter ~help:"Segments ripped up and rerouted" "route_segments_rerouted"
+
+let m_overflow_per_iteration =
+  Metrics.histogram ~help:"Total gcell overflow at each rip-up iteration"
+    ~buckets:[| 0.0; 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0 |]
+    "route_overflow_per_iteration"
+
+let g_overflow = Metrics.gauge ~help:"Total overflow after routing" "route_overflow"
+
+let g_max_utilization =
+  Metrics.gauge ~help:"Peak gcell-edge utilization after routing"
+    "route_max_utilization"
 
 type config = {
   layers : int;
@@ -195,11 +219,17 @@ let maze_route cfg grid scratch (src, dst) =
   stamp.(sidx) <- gen;
   prev.(sidx) <- -1;
   Pqueue.Int.push q (h sc sr) sidx;
+  (* Pops are counted in a local ref and published once per call, so the
+     enabled path adds one predictable branch per pop and the disabled
+     path costs a single flag read for the whole search. *)
+  let counting = Probe.enabled () in
+  let pops = ref 0 in
   let found = ref false in
   (try
      while not (Pqueue.Int.is_empty q) do
        let f = Pqueue.Int.min_prio q in
        let v = Pqueue.Int.pop q in
+       if counting then incr pops;
        let c = v mod cols and r = v / cols in
        let g = dist.(v) in
        if f <= g +. h c r then begin
@@ -218,6 +248,10 @@ let maze_route cfg grid scratch (src, dst) =
        end
      done
    with Exit -> ());
+  if counting then begin
+    Metrics.incr m_maze_calls;
+    Metrics.add m_maze_pops !pops
+  end;
   if not !found then None
   else begin
     let rec backtrack v acc =
@@ -238,6 +272,10 @@ let maze_route cfg grid scratch (src, dst) =
 let path_uses_overflow grid path = List.exists (Rgrid.is_overflowed grid) path
 
 let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
+  Span.with_ ~cat:"route"
+    ~meta:(Printf.sprintf "%d nets" (Array.length nets))
+    "route.route_pins"
+  @@ fun () ->
   let grid =
     Rgrid.create ~floorplan ~wire ~layers:config.layers
       ~gcell_rows:config.gcell_rows ~m1_free:config.m1_free ?density ()
@@ -274,13 +312,17 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
       in
       compare (len b) (len a))
     order;
-  Array.iter (fun i -> pattern_route config grid segments.(i)) order;
+  Span.with_ ~cat:"route" "route.pattern" (fun () ->
+      Array.iter (fun i -> pattern_route config grid segments.(i)) order);
   (* Negotiated rip-up and reroute. One scratch serves every maze call on
      this grid; generation stamps make reuse free. *)
   let scratch = create_scratch (grid.Rgrid.cols * grid.Rgrid.rows) in
+  let negotiate_token = Span.enter ~cat:"route" "route.negotiate" in
   let iteration = ref 0 in
   while !iteration < config.reroute_iterations && Rgrid.total_overflow grid > 0.0 do
     incr iteration;
+    Metrics.incr m_ripup_iterations;
+    Metrics.observe m_overflow_per_iteration (Rgrid.total_overflow grid);
     Rgrid.clear_overflow_marks grid;
     List.iter
       (fun e ->
@@ -291,6 +333,7 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
       (fun seg ->
         if seg.path <> [] && path_uses_overflow grid seg.path then begin
           rip_up grid seg.path;
+          Metrics.incr m_rerouted;
           match maze_route config grid scratch seg.ends with
           | Some path ->
             seg.path <- path;
@@ -301,6 +344,7 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
         end)
       segments
   done;
+  Span.exit negotiate_token;
   let net_length = Array.make num_nets 0.0 in
   Array.iter
     (fun seg ->
@@ -310,12 +354,15 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
     segments;
   let wirelength = Array.fold_left ( +. ) 0.0 net_length in
   let overflow = Rgrid.total_overflow grid in
+  let max_util = Rgrid.max_utilization grid in
+  Metrics.set g_overflow overflow;
+  Metrics.set g_max_utilization max_util;
   {
     grid;
     violations = int_of_float (ceil overflow);
     total_overflow = overflow;
     wirelength_um = wirelength;
-    max_utilization = Rgrid.max_utilization grid;
+    max_utilization = max_util;
     num_nets;
     num_segments = Array.length segments;
     net_length_um = net_length;

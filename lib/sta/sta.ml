@@ -1,6 +1,13 @@
 module Geom = Cals_util.Geom
 module Mapped = Cals_netlist.Mapped
 module Cell = Cals_cell.Cell
+module Span = Cals_telemetry.Span
+module Metrics = Cals_telemetry.Metrics
+
+let m_analyses = Metrics.counter ~help:"Full STA analyses run" "sta_analyses"
+
+let m_endpoints =
+  Metrics.counter ~help:"Timing endpoints propagated" "sta_endpoints"
 
 type config = {
   input_drive_kohm : float;
@@ -168,6 +175,12 @@ let trace_start mapped best_fanin s =
   go s
 
 let analyze ?(config = default_config) ?net_length_um mapped ~wire ~placement =
+  Span.with_ ~cat:"sta"
+    ~meta:(Printf.sprintf "%d cells" (Array.length mapped.Mapped.instances))
+    "sta.analyze"
+  @@ fun () ->
+  Metrics.incr m_analyses;
+  Metrics.add m_endpoints (Array.length mapped.Mapped.outputs);
   let inst_arrival, best_fanin, po_arrival, infos =
     propagate config ?net_length_um mapped ~wire ~placement ~pi_arrival:(fun _ ->
         Some 0.0)

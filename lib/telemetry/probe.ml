@@ -1,0 +1,13 @@
+let flag = Atomic.make false
+let origin_us = Atomic.make 0.0
+
+let enabled () = Atomic.get flag
+
+let enable () =
+  if not (Atomic.get flag) then begin
+    Atomic.set origin_us (Unix.gettimeofday () *. 1e6);
+    Atomic.set flag true
+  end
+
+let disable () = Atomic.set flag false
+let now_us () = (Unix.gettimeofday () *. 1e6) -. Atomic.get origin_us

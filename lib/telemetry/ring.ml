@@ -1,0 +1,87 @@
+type event = {
+  name : string;
+  cat : string;
+  meta : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  seq : int;
+}
+
+let capacity = 65536
+
+type buffer = {
+  tid : int;
+  events : event array;
+  mutable len : int;
+  mutable dropped : int;
+  mutable seq : int;
+}
+
+let dummy_event =
+  { name = ""; cat = ""; meta = ""; ts_us = 0.0; dur_us = 0.0; tid = 0; seq = 0 }
+
+(* All buffers ever created, so collect sees events from worker domains
+   even after those domains exit. Locked only at buffer creation and
+   during collect/clear — never on the recording path. *)
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          events = Array.make capacity dummy_event;
+          len = 0;
+          dropped = 0;
+          seq = 0;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let record ~name ~cat ~meta ~ts_us ~dur_us =
+  let b = Domain.DLS.get key in
+  if b.len >= capacity then b.dropped <- b.dropped + 1
+  else begin
+    b.events.(b.len) <-
+      { name; cat; meta; ts_us; dur_us; tid = b.tid; seq = b.seq };
+    b.len <- b.len + 1;
+    b.seq <- b.seq + 1
+  end
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
+  f !registry
+
+let collect () =
+  let all =
+    with_registry (fun buffers ->
+        List.concat_map
+          (fun b -> Array.to_list (Array.sub b.events 0 b.len))
+          buffers)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.ts_us b.ts_us with
+      | 0 -> (
+        match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    all
+
+let dropped () =
+  with_registry (fun buffers ->
+      List.fold_left (fun acc b -> acc + b.dropped) 0 buffers)
+
+let clear () =
+  with_registry (fun buffers ->
+      List.iter
+        (fun b ->
+          b.len <- 0;
+          b.dropped <- 0;
+          b.seq <- 0)
+        buffers)

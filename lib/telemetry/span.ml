@@ -1,0 +1,64 @@
+type frame = {
+  mutable name : string;
+  mutable cat : string;
+  mutable meta : string;
+  mutable start_us : float;
+}
+
+type stack = { mutable frames : frame array; mutable depth : int }
+
+let new_frame () = { name = ""; cat = ""; meta = ""; start_us = 0.0 }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { frames = Array.init 16 (fun _ -> new_frame ()); depth = 0 })
+
+(* A token is the stack depth at entry, or -1 when the probe was
+   disabled at entry: exit on a dead token is a no-op, so spans that
+   straddle an enable/disable flip unwind cleanly. *)
+type token = int
+
+let disabled_token = -1
+
+let enter ?(cat = "cals") ?(meta = "") name =
+  if not (Probe.enabled ()) then disabled_token
+  else begin
+    let s = Domain.DLS.get key in
+    let d = s.depth in
+    if d >= Array.length s.frames then begin
+      let bigger = Array.init (2 * d) (fun _ -> new_frame ()) in
+      Array.blit s.frames 0 bigger 0 d;
+      s.frames <- bigger
+    end;
+    let f = s.frames.(d) in
+    f.name <- name;
+    f.cat <- cat;
+    f.meta <- meta;
+    f.start_us <- Probe.now_us ();
+    s.depth <- d + 1;
+    d
+  end
+
+let exit token =
+  if token >= 0 then begin
+    let s = Domain.DLS.get key in
+    (* Anything still open above [token] was abandoned by an exception;
+       drop it so those frames cannot leak into a later span. *)
+    if s.depth > token then begin
+      let f = s.frames.(token) in
+      s.depth <- token;
+      Ring.record ~name:f.name ~cat:f.cat ~meta:f.meta ~ts_us:f.start_us
+        ~dur_us:(Probe.now_us () -. f.start_us)
+    end
+  end
+
+let with_ ?cat ?meta name f =
+  let token = enter ?cat ?meta name in
+  match f () with
+  | v ->
+    exit token;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    exit token;
+    Printexc.raise_with_backtrace e bt

@@ -1,0 +1,28 @@
+(** Nestable timed regions.
+
+    A span measures one region of one domain's execution. Spans nest:
+    each domain keeps a stack of open spans, and closing a span records
+    a completed event (name, start, duration) into that domain's ring
+    buffer ({!Ring}). Opening and closing is domain-local — safe inside
+    [Cals_util.Pool.map_array] tasks with no locks taken.
+
+    When telemetry is disabled ({!Probe.enabled}[ = false]) every entry
+    point reduces to that single flag check; {!enter} then returns a
+    dead token that {!exit} ignores, so a probe that straddles an
+    enable/disable transition can never corrupt the stack. *)
+
+type token
+(** Proof that {!enter} ran; consumed by {!exit}. *)
+
+val enter : ?cat:string -> ?meta:string -> string -> token
+(** [enter name] opens a span. [cat] groups related spans in exporters
+    (defaults to ["cals"]); [meta] is freeform detail shown as trace
+    args, e.g. ["K=0.001"]. *)
+
+val exit : token -> unit
+(** Close the span opened by the matching {!enter}, recording it. If
+    inner spans are still open (an exception unwound past them) they
+    are discarded rather than misattributed. *)
+
+val with_ : ?cat:string -> ?meta:string -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] = enter, run [f], exit — exception-safe. *)

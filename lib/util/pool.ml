@@ -57,6 +57,9 @@ let shutdown t =
   end
 
 let map_array t ~f arr =
+  (* After shutdown no worker remains to pop helper closures, so the
+     caller would block forever on [pending]; refuse instead. *)
+  if t.joined then invalid_arg "Pool.map_array: pool is shut down";
   let n = Array.length arr in
   if n = 0 then [||]
   else if t.jobs = 1 || n = 1 then Array.mapi f arr

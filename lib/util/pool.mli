@@ -28,7 +28,11 @@ val map_array : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
     done. Deterministic: the result array is identical to [Array.mapi f
     arr] whenever [f] is pure. If any call raises, the first exception
     (by completion order) is re-raised in the caller after all domains
-    stop claiming work; remaining unclaimed elements are skipped. *)
+    stop claiming work; remaining unclaimed elements are skipped.
+
+    @raise Invalid_argument if the pool has been {!shutdown}: its
+    workers are gone, so queued helper tasks would never run and the
+    caller would deadlock waiting for them. *)
 
 val shutdown : t -> unit
 (** Joins the worker domains. Idempotent. Call when done with the pool;

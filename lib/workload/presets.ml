@@ -1,12 +1,19 @@
 module Rng = Cals_util.Rng
 module Geom = Cals_util.Geom
 module Subject = Cals_netlist.Subject
+module Span = Cals_telemetry.Span
 
 let default_scale = 0.25
 
 let scaled scale base = max 1 (int_of_float (float_of_int base *. scale))
 
+let generate ~name ~scale f =
+  Span.with_ ~cat:"workload"
+    ~meta:(Printf.sprintf "%s scale=%g" name scale)
+    "workload.generate" f
+
 let spla_like ?(scale = default_scale) ~seed () =
+  generate ~name:"spla" ~scale @@ fun () ->
   let rng = Rng.create (0x5914 lxor seed) in
   Gen.pla ~rng ~inputs:16 ~outputs:46
     ~products:(scaled scale 2307)
@@ -16,6 +23,7 @@ let spla_like ?(scale = default_scale) ~seed () =
     ()
 
 let pdc_like ?(scale = default_scale) ~seed () =
+  generate ~name:"pdc" ~scale @@ fun () ->
   let rng = Rng.create (0x9dc0 lxor seed) in
   Gen.pla ~rng ~inputs:16 ~outputs:40
     ~products:(scaled scale 2406)
@@ -25,6 +33,7 @@ let pdc_like ?(scale = default_scale) ~seed () =
     ()
 
 let too_large_like ?(scale = default_scale) ~seed () =
+  generate ~name:"too_large" ~scale @@ fun () ->
   let rng = Rng.create (0x71a6 lxor seed) in
   Gen.multilevel ~rng ~inputs:38 ~outputs:40
     ~internal_nodes:(scaled scale 4200)

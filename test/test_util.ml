@@ -299,6 +299,13 @@ let test_pool_shutdown_idempotent () =
   Pool.shutdown pool;
   Pool.shutdown pool
 
+let test_pool_map_after_shutdown_raises () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  match Pool.map_array pool ~f:(fun i _ -> i) (Array.make 4 ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------- Union_find ------------------------- *)
 
 let test_union_find_basic () =
@@ -421,6 +428,8 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
+          Alcotest.test_case "map after shutdown raises" `Quick
+            test_pool_map_after_shutdown_raises;
         ] );
       ( "union_find",
         [
