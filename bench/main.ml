@@ -20,6 +20,7 @@ module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Partition = Cals_core.Partition
 module Flow = Cals_core.Flow
+module Check = Cals_verify.Check
 module Presets = Cals_workload.Presets
 module Probe = Cals_telemetry.Probe
 module Ring = Cals_telemetry.Ring
@@ -617,6 +618,14 @@ let micro_benchmarks () =
          ~floorplan:c.floorplan ~wire ~placement);
     Probe.disable ()
   in
+  (* Verification overhead: one full K point with the checkers off (the
+     shipped default) vs Full (invariants + equivalence + usage audit). *)
+  let checks_work level () =
+    let c = Lazy.force circuit in
+    ignore
+      (Flow.evaluate_k ~router_config ~checks:level ~subject:c.subject
+         ~library ~floorplan:c.floorplan ~positions:c.positions ~k:0.001 ())
+  in
   let tests =
     [
       Test.make ~name:"table1:sis-optimize" (Staged.stage table1_work);
@@ -626,6 +635,8 @@ let micro_benchmarks () =
       Test.make ~name:"table5:pdc-sta" (Staged.stage table5_work);
       Test.make ~name:"route:maze-telemetry-off" (Staged.stage (maze_work false));
       Test.make ~name:"route:maze-telemetry-on" (Staged.stage (maze_work true));
+      Test.make ~name:"flow:k-point-checks-off" (Staged.stage (checks_work Check.Off));
+      Test.make ~name:"flow:k-point-checks-full" (Staged.stage (checks_work Check.Full));
     ]
   in
   let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in

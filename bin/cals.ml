@@ -19,6 +19,9 @@ module Congestion = Cals_route.Congestion
 module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Flow = Cals_core.Flow
+module Harness = Cals_core.Harness
+module Check = Cals_verify.Check
+module Fuzz = Cals_verify.Fuzz
 module Probe = Cals_telemetry.Probe
 module Export = Cals_telemetry.Export
 
@@ -104,35 +107,47 @@ let run_map input scale seed optimize k utilization output =
 
 (* ------------------------- flow ------------------------- *)
 
-let run_flow verbosity input scale seed optimize utilization jobs trace metrics =
+let run_flow verbosity input scale seed optimize utilization jobs checks trace
+    metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
   let floorplan = floorplan_of subject utilization in
   Printf.printf "die: %s\n" (Floorplan.describe floorplan);
+  if checks <> Check.Off then
+    Printf.printf "verification checks: %s\n" (Check.level_to_string checks);
   let rng = Cals_util.Rng.create (seed + 1) in
   let outcome =
-    if jobs > 1 then begin
-      Printf.printf "evaluating the K schedule speculatively on %d domains\n"
-        jobs;
-      Flow.run_parallel ~jobs ~subject ~library ~floorplan ~rng ()
-    end
-    else Flow.run ~subject ~library ~floorplan ~rng ()
+    try
+      Ok
+        (if jobs > 1 then begin
+           Printf.printf
+             "evaluating the K schedule speculatively on %d domains\n" jobs;
+           Flow.run_parallel ~jobs ~checks ~subject ~library ~floorplan ~rng ()
+         end
+         else Flow.run ~checks ~subject ~library ~floorplan ~rng ())
+    with Check.Violation { stage; detail } -> Error (stage, detail)
   in
-  List.iter
-    (fun it ->
-      Printf.printf "K=%-8g cells=%-6d util=%5.2f%%  %s\n" it.Flow.k it.Flow.cells
-        (100.0 *. it.Flow.utilization)
-        (Congestion.summary it.Flow.report))
-    outcome.Flow.iterations;
   let code =
-    match outcome.Flow.accepted with
-    | Some it ->
-      Printf.printf "accepted at K=%g\n" it.Flow.k;
-      0
-    | None ->
-      print_endline "no K in the schedule was acceptable";
-      1
+    match outcome with
+    | Error (stage, detail) ->
+      Printf.printf "verification FAILED at stage %s: %s\n" stage detail;
+      2
+    | Ok outcome ->
+      List.iter
+        (fun it ->
+          Printf.printf "K=%-8g cells=%-6d util=%5.2f%%  %s\n" it.Flow.k
+            it.Flow.cells
+            (100.0 *. it.Flow.utilization)
+            (Congestion.summary it.Flow.report))
+        outcome.Flow.iterations;
+      (match outcome.Flow.accepted with
+      | Some it ->
+        Printf.printf "accepted at K=%g\n" it.Flow.k;
+        0
+      | None ->
+        print_endline "no K in the schedule was acceptable";
+        1)
   in
   (match trace with
   | Some path ->
@@ -168,6 +183,41 @@ let run_sta input scale seed optimize k utilization =
     (fun (label, t) -> Printf.printf "  %-20s %8.3f ns\n" label t)
     report.Sta.critical_path;
   0
+
+(* ------------------------- fuzz ------------------------- *)
+
+let run_fuzz verbosity iterations seed out replay level jobs =
+  setup_logs verbosity;
+  let check p = Harness.check_params ~jobs ~level p in
+  match replay with
+  | Some path ->
+    let p = Fuzz.read_reproducer path in
+    Printf.printf "replaying %s: %s\n" path (Fuzz.params_to_string p);
+    (match check p with
+    | Ok () ->
+      print_endline "replay passed (the bug no longer reproduces)";
+      0
+    | Error (stage, detail) ->
+      Printf.printf "replay FAILED at stage %s: %s\n" stage detail;
+      1)
+  | None ->
+    let outcome = Fuzz.run ~iterations ~seed ~reproducer_path:out ~check () in
+    (match outcome.Fuzz.failure with
+    | None ->
+      Printf.printf "fuzz: %d workloads passed (checks %s)\n"
+        outcome.Fuzz.iterations
+        (Check.level_to_string level);
+      0
+    | Some f ->
+      Printf.printf "fuzz: FAILED at stage %s after %d workloads\n"
+        f.Fuzz.stage outcome.Fuzz.iterations;
+      Printf.printf "  %s\n" f.Fuzz.detail;
+      Printf.printf "  shrunk (%d steps) to: %s\n" f.Fuzz.shrink_steps
+        (Fuzz.params_to_string f.Fuzz.params);
+      Printf.printf "  reproducer written to %s (replay with: cals fuzz \
+                     --replay %s)\n"
+        out out;
+      1)
 
 (* ------------------------- lib ------------------------- *)
 
@@ -242,6 +292,28 @@ let output_arg =
   let doc = "Write the mapped netlist as structural Verilog." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
 
+let check_level_conv =
+  let parse s =
+    match Check.level_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt l = Format.pp_print_string fmt (Check.level_to_string l) in
+  Arg.conv (parse, print)
+
+let check_arg =
+  let doc =
+    "Run the verification layer alongside the flow: $(b,cheap) checks \
+     structural invariants (cover, placement, routing) at every K and \
+     spot-checks the accepted netlist for equivalence; $(b,full) also \
+     re-derives routing usage and checks every K point's netlist. \
+     $(b,--check) alone means $(b,full)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:Check.Full check_level_conv Check.Off
+    & info [ "check" ] ~docv:"LEVEL" ~doc)
+
 let trace_arg =
   let doc =
     "Record spans for the whole run and write a Chrome trace_event JSON file \
@@ -281,7 +353,50 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
-      $ optimize_arg $ utilization_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg $ trace_arg
+      $ metrics_arg)
+
+let fuzz_iterations_arg =
+  let doc = "Number of random workloads to check." in
+  Arg.(value & opt int 25 & info [ "iterations" ] ~doc)
+
+let fuzz_seed_arg =
+  let doc = "Seed for the fuzzer's parameter sampler." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+
+let fuzz_out_arg =
+  let doc = "Where to write the shrunk reproducer on failure." in
+  Arg.(
+    value
+    & opt string "fuzz_reproducer.txt"
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+
+let fuzz_replay_arg =
+  let doc = "Replay the reproducer file $(docv) instead of fuzzing." in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH" ~doc)
+
+let fuzz_level_arg =
+  let doc = "Check level the flow runs under (cheap or full)." in
+  Arg.(value & opt check_level_conv Check.Full & info [ "level" ] ~doc)
+
+let fuzz_cmd =
+  let doc = "fuzz the whole flow with verification checks on" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Samples random synthetic workloads, pushes each through optimize, \
+         decompose, map, place and route with the verification layer \
+         enabled, and stops at the first violated invariant or lost \
+         equivalence. The failing workload's parameters are greedily shrunk \
+         toward the smallest circuit that still fails and written to a \
+         reproducer file that $(b,--replay) accepts.";
+    ]
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run_fuzz $ verbosity_arg $ fuzz_iterations_arg $ fuzz_seed_arg
+      $ fuzz_out_arg $ fuzz_replay_arg $ fuzz_level_arg $ jobs_arg)
 
 let sta_cmd =
   let doc = "map, place, route and report static timing" in
@@ -297,6 +412,6 @@ let lib_cmd =
 let main_cmd =
   let doc = "congestion-aware logic synthesis (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "cals" ~doc)
-    [ stats_cmd; map_cmd; flow_cmd; sta_cmd; lib_cmd ]
+    [ stats_cmd; map_cmd; flow_cmd; sta_cmd; lib_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

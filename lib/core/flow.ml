@@ -5,6 +5,9 @@ module Congestion = Cals_route.Congestion
 module Mapped = Cals_netlist.Mapped
 module Span = Cals_telemetry.Span
 module Metrics = Cals_telemetry.Metrics
+module Check = Cals_verify.Check
+module Equiv = Cals_verify.Equiv
+module Invariant = Cals_verify.Invariant
 
 let log_src = Logs.Src.create "cals.flow" ~doc:"Figure-3 methodology loop"
 
@@ -53,14 +56,26 @@ let overflow_report =
     wirelength_um = infinity;
   }
 
-let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
-    ~floorplan ~positions ~k () =
+(* Per-K equivalence stimulus must depend only on K so that the
+   speculative [run_parallel] sees exactly the streams [run] would. *)
+let equiv_rng ~k = Cals_util.Rng.create (Int64.to_int (Int64.bits_of_float k))
+
+let check_equiv ~checks ~subject ~k mapped =
+  Equiv.check_exn
+    ~rounds:(Check.rounds checks)
+    ~rng:(equiv_rng ~k) ~stage:"equiv" (Equiv.of_subject subject)
+    (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped)
+
+let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
+    ~subject ~library ~floorplan ~positions ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
   Metrics.incr m_k_evaluated;
   let options = { (Mapper.congestion_aware ~k) with strategy } in
-  let result = Mapper.map subject ~library ~positions options in
+  let verify = checks <> Check.Off in
+  let result = Mapper.map ~verify subject ~library ~positions options in
   let mapped = result.Mapper.mapped in
+  if checks = Check.Full then check_equiv ~checks ~subject ~k mapped;
   let cell_area = Mapped.total_area mapped in
   let utilization = Floorplan.utilization floorplan ~cell_area in
   match Placement.place_mapped_seeded mapped ~floorplan with
@@ -76,10 +91,16 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
       },
       (mapped, None, None) )
   | placement ->
+    if verify then
+      Check.record ~stage:"place"
+        (Invariant.check_placement ~floorplan mapped placement);
     let wire = Cals_cell.Library.wire library in
     let routing =
       Router.route_mapped ?config:router_config mapped ~floorplan ~wire ~placement
     in
+    if verify then
+      Check.record ~stage:"route"
+        (Invariant.check_routing ~usage:(checks = Check.Full) routing);
     let report = Congestion.of_result routing in
     ( {
         k;
@@ -90,6 +111,11 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ~subject ~library
         report;
       },
       (mapped, Some placement, Some routing) )
+
+(* Cheap defers equivalence to the single netlist the flow ships; Full
+   already checked every K point inside [evaluate_k]. *)
+let check_accepted ~checks ~subject ~k mapped =
+  if checks = Check.Cheap then check_equiv ~checks ~subject ~k mapped
 
 let log_rejected (it : iteration) =
   Log.debug (fun m ->
@@ -103,8 +129,8 @@ let log_accepted (it : iteration) =
         it.report.Congestion.total_overflow it.cells
         (100.0 *. it.utilization))
 
-let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
-    ~library ~floorplan ~rng () =
+let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
+    ?(checks = Check.Off) ~subject ~library ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
     Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
@@ -118,11 +144,12 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy ~subject
         placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
-        evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
+        evaluate_k ?router_config ?strategy ~checks ~subject ~library ~floorplan
           ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
         log_accepted iteration;
+        check_accepted ~checks ~subject ~k mapped;
         {
           iterations = List.rev (iteration :: acc);
           accepted = Some iteration;
@@ -147,10 +174,10 @@ let rec take_chunk n = function
   | rest -> ([], rest)
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ~jobs ~subject ~library ~floorplan ~rng () =
+    ?(checks = Check.Off) ~jobs ~subject ~library ~floorplan ~rng () =
   if jobs <= 1 then
-    run ~k_schedule ?router_config ?strategy ~subject ~library ~floorplan ~rng
-      ()
+    run ~k_schedule ?router_config ?strategy ~checks ~subject ~library
+      ~floorplan ~rng ()
   else begin
     Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
       "flow.run_parallel"
@@ -182,8 +209,8 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
-              evaluate_k ?router_config ?strategy ~subject ~library ~floorplan
-                ~positions ~k ())
+              evaluate_k ?router_config ?strategy ~checks ~subject ~library
+                ~floorplan ~positions ~k ())
             (Array.of_list chunk)
         in
         let n = Array.length results in
@@ -193,6 +220,7 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
             let iteration, (mapped, placement, routing) = results.(i) in
             if Congestion.acceptable iteration.report then begin
               log_accepted iteration;
+              check_accepted ~checks ~subject ~k:iteration.k mapped;
               (* Everything past [i] in this chunk was speculative work
                  the sequential loop would never have run. *)
               let discarded = n - i - 1 in

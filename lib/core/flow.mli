@@ -29,6 +29,7 @@ val run :
   ?k_schedule:float list ->
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
+  ?checks:Cals_verify.Check.level ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -37,12 +38,20 @@ val run :
   outcome
 (** Stops at the first acceptable congestion map. Iterations whose mapped
     netlist does not even fit the floorplan rows are recorded with an
-    all-violations report and the loop moves on. *)
+    all-violations report and the loop moves on.
+
+    [checks] (default [Off]) selects how much of the verification layer
+    runs alongside the loop — see {!Cals_verify.Check.level}. Checks never
+    change the outcome; a violated invariant raises
+    {!Cals_verify.Check.Violation}. The equivalence stimulus is derived
+    from K alone, so checked runs stay deterministic and
+    {!run_parallel}-identical. *)
 
 val run_parallel :
   ?k_schedule:float list ->
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
+  ?checks:Cals_verify.Check.level ->
   jobs:int ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -61,6 +70,7 @@ val run_parallel :
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
+  ?checks:Cals_verify.Check.level ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->

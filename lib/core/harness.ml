@@ -1,0 +1,51 @@
+module Check = Cals_verify.Check
+module Equiv = Cals_verify.Equiv
+module Fuzz = Cals_verify.Fuzz
+module Network = Cals_logic.Network
+module Subject = Cals_netlist.Subject
+module Floorplan = Cals_place.Floorplan
+
+let family_of = function
+  | Fuzz.Pla -> `Pla
+  | Fuzz.Multilevel -> `Multilevel
+
+let check_params ?(utilization = 0.45) ?(jobs = 1) ?(level = Check.Full)
+    (p : Fuzz.params) =
+  let library = Cals_cell.Stdlib_018.library in
+  let geometry = Cals_cell.Library.geometry library in
+  let rounds = max 2 (Check.rounds level) in
+  try
+    let network =
+      Cals_workload.Gen.of_fuzz ~family:(family_of p.Fuzz.family)
+        ~seed:p.Fuzz.seed ~inputs:p.Fuzz.inputs ~outputs:p.Fuzz.outputs
+        ~size:p.Fuzz.size
+    in
+    let original = Network.copy network in
+    Cals_logic.Optimize.script_area network;
+    Equiv.check_exn ~rounds
+      ~rng:(Cals_util.Rng.create (p.Fuzz.seed + 17))
+      ~stage:"equiv"
+      (Equiv.of_network ~label:"original" original)
+      (Equiv.of_network ~label:"optimized" network);
+    let subject = Cals_logic.Decompose.subject_of_network network in
+    Equiv.check_exn ~rounds
+      ~rng:(Cals_util.Rng.create (p.Fuzz.seed + 23))
+      ~stage:"equiv"
+      (Equiv.of_network ~label:"optimized" network)
+      (Equiv.of_subject ~label:"subject" subject);
+    let floorplan =
+      Floorplan.for_area
+        ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+        ~utilization ~aspect:1.0 ~geometry
+    in
+    let rng = Cals_util.Rng.create (p.Fuzz.seed + 1) in
+    let (_ : Flow.outcome) =
+      if jobs > 1 then
+        Flow.run_parallel ~jobs ~checks:level ~subject ~library ~floorplan ~rng
+          ()
+      else Flow.run ~checks:level ~subject ~library ~floorplan ~rng ()
+    in
+    Ok ()
+  with
+  | Check.Violation { stage; detail } -> Error (stage, detail)
+  | exn -> Error ("exception", Printexc.to_string exn)

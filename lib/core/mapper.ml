@@ -53,7 +53,7 @@ type result = {
   partition : Partition.t;
 }
 
-let map subject ~library ~positions options =
+let map ?(verify = false) subject ~library ~positions options =
   Span.with_ ~cat:"map" ~meta:(Printf.sprintf "K=%g" options.k) "mapper.map"
   @@ fun () ->
   Metrics.incr m_runs;
@@ -75,6 +75,8 @@ let map subject ~library ~positions options =
     Span.with_ ~cat:"map" "mapper.cover" @@ fun () ->
     Cover.run subject ~library ~partition ~positions cover_options
   in
+  if verify then
+    Cals_verify.Check.record ~stage:"cover" (Cover.check_coverage cover);
   let extraction =
     Span.with_ ~cat:"map" "mapper.extract" @@ fun () -> Cover.extract cover
   in

@@ -49,10 +49,14 @@ type result = {
 }
 
 val map :
+  ?verify:bool ->
   Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   positions:Cals_util.Geom.point array ->
   options ->
   result
 (** [positions] is the companion placement of the subject graph (one point
-    per subject node, produced once per circuit). *)
+    per subject node, produced once per circuit). With [verify] (default
+    [false]) the cover is checked for legality — every live gate covered by
+    exactly the chosen matches — before extraction, and a violation raises
+    {!Cals_verify.Check.Violation} with stage ["cover"]. *)

@@ -44,6 +44,15 @@ let node t i =
 
 let num_nodes t = t.n_nodes
 
+let copy t =
+  {
+    pis = t.pis;
+    nodes =
+      Array.map (fun n -> { fanins = Array.copy n.fanins; sop = n.sop }) t.nodes;
+    n_nodes = t.n_nodes;
+    outs = Array.copy t.outs;
+  }
+
 let set_output t name s =
   check_signal t s;
   t.outs <- Array.append t.outs [| (name, s) |]

@@ -27,6 +27,11 @@ val node : t -> int -> node
 val num_nodes : t -> int
 (** Allocated node count, including dead nodes. *)
 
+val copy : t -> t
+(** Deep copy: the optimization passes may mutate the copy (or the
+    original) without affecting the other. Used to keep a pristine
+    reference for equivalence checking across an optimization script. *)
+
 val set_output : t -> string -> signal -> unit
 val outputs : t -> (string * signal) array
 val set_outputs : t -> (string * signal) array -> unit

@@ -104,6 +104,10 @@ let simulate t pi_vectors =
     t.instances;
   Array.map (fun (_, s) -> read s) t.outputs
 
+let simulate_one t assignment =
+  let stimulus = Array.map (fun b -> if b then -1L else 0L) assignment in
+  Array.map (fun v -> Int64.logand v 1L <> 0L) (simulate t stimulus)
+
 let sanitize name =
   String.map (fun c -> if c = '[' || c = ']' || c = '.' || c = '-' then '_' else c) name
 

@@ -63,6 +63,10 @@ val simulate : t -> int64 array -> int64 array
 (** Bit-parallel simulation; stimulus indexed like [pi_names], result like
     [outputs]. Used to verify that mapping preserved the function. *)
 
+val simulate_one : t -> bool array -> bool array
+(** Single-assignment simulation (one value per PI) — counterexample
+    replay for the verification layer. *)
+
 (** {1 Export} *)
 
 val to_verilog : ?module_name:string -> t -> string

@@ -44,6 +44,11 @@ let for_area ~core_area ~utilization ~aspect ~geometry =
 
 let core_area t = t.die_width *. t.die_height
 let row_y t i = (float_of_int i +. 0.5) *. t.row_height
+
+let row_of_y t y =
+  let r = int_of_float (Float.round ((y /. t.row_height) -. 0.5)) in
+  if r < 0 || r >= t.num_rows || abs_float (y -. row_y t r) > 1e-6 then None
+  else Some r
 let utilization t ~cell_area = cell_area /. core_area t
 
 let pad_positions t ~names =

@@ -35,6 +35,11 @@ val core_area : t -> float
 val row_y : t -> int -> float
 (** Center y of row [i]. *)
 
+val row_of_y : t -> float -> int option
+(** Inverse of {!row_y}: the row whose center is [y] (within 1e-6 µm),
+    or [None] when [y] sits on no row — the placement-legality checkers'
+    way of asking "is this cell row-aligned?". *)
+
 val utilization : t -> cell_area:float -> float
 (** Fraction of the core covered by [cell_area]. *)
 

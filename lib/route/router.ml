@@ -47,6 +47,12 @@ let default_config =
     history_increment = 1.0;
   }
 
+type route = {
+  net : int;
+  gends : (int * int) * (int * int);
+  edges : Rgrid.edge list;
+}
+
 type result = {
   grid : Rgrid.t;
   violations : int;
@@ -56,6 +62,8 @@ type result = {
   num_nets : int;
   num_segments : int;
   net_length_um : float array;
+  routes : route array;
+  net_gcells : (int * int) list array;
 }
 
 type seg_state = {
@@ -283,9 +291,11 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
   let num_nets = Array.length nets in
   (* Build segments. *)
   let segments = ref [] in
+  let net_gcells = Array.make num_nets [] in
   Array.iteri
     (fun net pins ->
       let cells = List.map (Rgrid.gcell_of_point grid) pins in
+      net_gcells.(net) <- List.sort_uniq compare cells;
       let segs =
         if config.star_topology then
           match cells with
@@ -366,6 +376,11 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
     num_nets;
     num_segments = Array.length segments;
     net_length_um = net_length;
+    routes =
+      Array.map
+        (fun seg -> { net = seg.net; gends = seg.ends; edges = seg.path })
+        segments;
+    net_gcells;
   }
 
 (* Cell-area fraction per gcell, for the M1 blockage model. *)

@@ -18,6 +18,14 @@ type config = {
 
 val default_config : config
 
+type route = {
+  net : int;  (** Index into the input net array. *)
+  gends : (int * int) * (int * int);  (** Segment endpoint gcells. *)
+  edges : Rgrid.edge list;  (** Final committed path (empty iff ends equal). *)
+}
+(** One two-pin segment's final route, kept so that verification can
+    re-derive edge usage and net connectivity from first principles. *)
+
 type result = {
   grid : Rgrid.t;
   violations : int;  (** Rounded total overflow after negotiation. *)
@@ -27,6 +35,10 @@ type result = {
   num_nets : int;
   num_segments : int;
   net_length_um : float array;  (** Routed length per input net. *)
+  routes : route array;  (** One entry per segment, in commit order. *)
+  net_gcells : (int * int) list array;
+      (** Distinct pin gcells per input net (the vertices the net's
+          segments must connect). *)
 }
 
 val route_pins :

@@ -1,0 +1,62 @@
+module Metrics = Cals_telemetry.Metrics
+
+type level =
+  | Off
+  | Cheap
+  | Full
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" -> Ok Off
+  | "cheap" -> Ok Cheap
+  | "full" -> Ok Full
+  | other -> Error (Printf.sprintf "unknown check level %S (off|cheap|full)" other)
+
+let level_to_string = function Off -> "off" | Cheap -> "cheap" | Full -> "full"
+let rounds = function Off -> 0 | Cheap -> 2 | Full -> 8
+
+exception Violation of { stage : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { stage; detail } ->
+      Some (Printf.sprintf "verification failed [%s]: %s" stage detail)
+    | _ -> None)
+
+(* Counters are registered once at module initialization (the registry is
+   not written to from worker domains); [tally] only touches the lock-free
+   atomics, so checkers may run on any domain. *)
+let stage_counters stage =
+  ( Metrics.counter
+      ~help:(Printf.sprintf "Verification checks passed at stage %s" stage)
+      (Printf.sprintf "verify_%s_pass" stage),
+    Metrics.counter
+      ~help:(Printf.sprintf "Verification checks failed at stage %s" stage)
+      (Printf.sprintf "verify_%s_fail" stage) )
+
+let c_cover = stage_counters "cover"
+let c_place = stage_counters "place"
+let c_route = stage_counters "route"
+let c_equiv = stage_counters "equiv"
+let c_other = stage_counters "other"
+
+let tally stage ok =
+  let p, f =
+    match stage with
+    | "cover" -> c_cover
+    | "place" -> c_place
+    | "route" -> c_route
+    | "equiv" -> c_equiv
+    | _ -> c_other
+  in
+  Metrics.incr (if ok then p else f)
+
+let pass ~stage = tally stage true
+
+let fail ~stage detail =
+  tally stage false;
+  raise (Violation { stage; detail })
+
+let record ~stage = function
+  | Ok () -> pass ~stage
+  | Error detail -> fail ~stage detail

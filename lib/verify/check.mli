@@ -1,0 +1,45 @@
+(** Verification policy shared by every checker in the flow.
+
+    The flow's checks knob selects how much of the verification layer runs:
+
+    - {b Off}: no checks — the shipped default; the flow behaves exactly as
+      before this library existed.
+    - {b Cheap}: structural invariants on every evaluated K point (cover
+      legality, placement legality, routed-net connectivity) plus an
+      equivalence spot-check of the {e accepted} mapped netlist.
+    - {b Full}: everything in Cheap, plus per-edge routing-usage
+      re-derivation and an equivalence check of {e every} K point's mapped
+      netlist against the subject graph, with more simulation rounds.
+
+    Every checker reports through {!pass} / {!fail} / {!record}, which bump
+    per-stage pass/fail counters in {!Cals_telemetry.Metrics} so that
+    verification cost and outcomes are observable alongside the rest of the
+    flow's telemetry. *)
+
+type level =
+  | Off
+  | Cheap
+  | Full
+
+val level_of_string : string -> (level, string) result
+(** Accepts ["off"], ["cheap"], ["full"] (case-insensitive). *)
+
+val level_to_string : level -> string
+
+val rounds : level -> int
+(** Random-simulation rounds (64 vectors each) the equivalence oracle runs
+    at this level: 0 / 2 / 8. *)
+
+exception Violation of { stage : string; detail : string }
+(** Raised by {!fail}; carries the checker stage (["cover"], ["place"],
+    ["route"], ["equiv"], ...) and a human-readable diagnosis. A printer is
+    registered, so an uncaught violation prints legibly. *)
+
+val pass : stage:string -> unit
+(** Record a successful check for [stage]. *)
+
+val fail : stage:string -> string -> 'a
+(** Record a failed check for [stage] and raise {!Violation}. *)
+
+val record : stage:string -> (unit, string) result -> unit
+(** [record ~stage r] is {!pass} on [Ok] and {!fail} on [Error]. *)

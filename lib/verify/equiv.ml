@@ -1,0 +1,210 @@
+module Rng = Cals_util.Rng
+module Network = Cals_logic.Network
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+
+type side = {
+  label : string;
+  pi_names : string array;
+  output_names : string array;
+  simulate : int64 array -> int64 array;
+}
+
+(* The subject builder models constants as a tied-off PI named __const0;
+   the network side has no such input. Hide it from the oracle's visible
+   PI list and pin it to 0 in every simulation, so a decomposed subject
+   (and the netlists mapped from it) compare against the network it came
+   from. *)
+let const_pi = "__const0"
+
+let hide_const pi_names simulate =
+  if not (Array.exists (String.equal const_pi) pi_names) then
+    (pi_names, simulate)
+  else begin
+    let visible =
+      Array.of_list
+        (List.filter
+           (fun n -> not (String.equal n const_pi))
+           (Array.to_list pi_names))
+    in
+    let n = Array.length pi_names in
+    let sim stimulus =
+      let full = Array.make n 0L in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if not (String.equal pi_names.(i) const_pi) then begin
+          full.(i) <- stimulus.(!j);
+          incr j
+        end
+      done;
+      simulate full
+    in
+    (visible, sim)
+  end
+
+let of_network ?(label = "network") net =
+  {
+    label;
+    pi_names = Network.pi_names net;
+    output_names = Array.map fst (Network.outputs net);
+    simulate = (fun stimulus -> Network.simulate net stimulus);
+  }
+
+let of_subject ?(label = "subject") subject =
+  let pi_names, simulate =
+    hide_const subject.Subject.pi_names (fun stimulus ->
+        Subject.simulate subject stimulus)
+  in
+  {
+    label;
+    pi_names;
+    output_names = Array.map fst subject.Subject.outputs;
+    simulate;
+  }
+
+let of_mapped ?(label = "mapped") mapped =
+  let pi_names, simulate =
+    hide_const mapped.Mapped.pi_names (fun stimulus ->
+        Mapped.simulate mapped stimulus)
+  in
+  {
+    label;
+    pi_names;
+    output_names = Array.map fst mapped.Mapped.outputs;
+    simulate;
+  }
+
+type counterexample = {
+  output : string;
+  expected : bool;
+  got : bool;
+  pis : string array;
+  assignment : bool array;
+  relevant : bool array;
+  round : int;
+}
+
+let num_relevant cex =
+  Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 cex.relevant
+
+let counterexample_to_string cex =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "output %s: expected %d, got %d under " cex.output
+       (Bool.to_int cex.expected) (Bool.to_int cex.got));
+  let any = ref false in
+  Array.iteri
+    (fun i name ->
+      if cex.relevant.(i) then begin
+        if !any then Buffer.add_char buf ' ';
+        any := true;
+        Buffer.add_string buf
+          (Printf.sprintf "%s=%d" name (Bool.to_int cex.assignment.(i)))
+      end)
+    cex.pis;
+  if not !any then Buffer.add_string buf "any assignment";
+  Buffer.add_string buf
+    (Printf.sprintf " (%d/%d PIs relevant, round %d)" (num_relevant cex)
+       (Array.length cex.pis) cex.round);
+  Buffer.contents buf
+
+let same_names kind a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x y) a b
+  ||
+  invalid_arg
+    (Printf.sprintf "Equiv.check: sides disagree on %s names (%d vs %d)" kind
+       (Array.length a) (Array.length b))
+
+(* Single-assignment evaluation by broadcasting the boolean to all 64
+   lanes; any lane (we read bit 0) carries the answer. *)
+let broadcast assignment =
+  Array.map (fun b -> if b then -1L else 0L) assignment
+
+(* Index of the first output differing under [assignment], or -1. *)
+let first_diff a b assignment =
+  let stimulus = broadcast assignment in
+  let oa = a.simulate stimulus and ob = b.simulate stimulus in
+  let n = Array.length oa in
+  let rec go i =
+    if i >= n then -1
+    else if Int64.logand (Int64.logxor oa.(i) ob.(i)) 1L <> 0L then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Greedy PI-assignment shrinking: a PI whose flip leaves the miter
+   failing is irrelevant; pin it to false (false is known to fail: it is
+   either the current value or the flip we just tested). The invariant
+   that [assignment] fails is maintained at every step. *)
+let shrink a b assignment =
+  let n = Array.length assignment in
+  let relevant = Array.make n true in
+  for i = 0 to n - 1 do
+    let saved = assignment.(i) in
+    assignment.(i) <- not saved;
+    if first_diff a b assignment >= 0 then begin
+      relevant.(i) <- false;
+      assignment.(i) <- false
+    end
+    else assignment.(i) <- saved
+  done;
+  relevant
+
+let check ?(rounds = 8) ~rng a b =
+  ignore (same_names "PI" a.pi_names b.pi_names : bool);
+  ignore (same_names "output" a.output_names b.output_names : bool);
+  let n_pis = Array.length a.pi_names in
+  let rec run round =
+    if round > rounds then Ok ()
+    else begin
+      let stimulus = Array.init n_pis (fun _ -> Rng.bits64 rng) in
+      let oa = a.simulate stimulus and ob = b.simulate stimulus in
+      let mismatch = ref None in
+      Array.iteri
+        (fun o va ->
+          if !mismatch = None && va <> ob.(o) then
+            let bit = Int64.logxor va ob.(o) in
+            let rec lowest i =
+              if Int64.logand (Int64.shift_right_logical bit i) 1L <> 0L then i
+              else lowest (i + 1)
+            in
+            mismatch := Some (o, lowest 0))
+        oa;
+      match !mismatch with
+      | None -> run (round + 1)
+      | Some (_, bit) ->
+        let assignment =
+          Array.map
+            (fun v -> Int64.logand (Int64.shift_right_logical v bit) 1L <> 0L)
+            stimulus
+        in
+        let relevant = shrink a b assignment in
+        (* The shrunk assignment still fails; re-derive the differing
+           output so the report matches the canonicalized vector. *)
+        let o = first_diff a b assignment in
+        assert (o >= 0);
+        let stim = broadcast assignment in
+        let va = Int64.logand (a.simulate stim).(o) 1L <> 0L in
+        let vb = Int64.logand (b.simulate stim).(o) 1L <> 0L in
+        Error
+          {
+            output = a.output_names.(o);
+            expected = va;
+            got = vb;
+            pis = Array.copy a.pi_names;
+            assignment;
+            relevant;
+            round;
+          }
+    end
+  in
+  run 1
+
+let check_exn ?rounds ~rng ~stage a b =
+  match check ?rounds ~rng a b with
+  | Ok () -> Check.pass ~stage
+  | Error cex ->
+    Check.fail ~stage
+      (Printf.sprintf "%s vs %s: %s" a.label b.label
+         (counterexample_to_string cex))

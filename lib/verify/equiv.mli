@@ -1,0 +1,64 @@
+(** Miter-style combinational equivalence oracle.
+
+    The flow's argument (and the paper's) is that only the {e cost} of the
+    netlist changes with K — the function must survive optimization,
+    decomposition and mapping untouched. This module checks that claim at
+    any stage boundary by simulating both representations on shared random
+    stimulus, 64 vectors at a time, and — on a mismatch — extracting one
+    failing primary-input assignment and greedily shrinking it to the
+    essential inputs.
+
+    A {!side} is any representation reduced to its simulation semantics, so
+    the same oracle compares network vs network, network vs subject graph,
+    or subject graph vs mapped netlist. *)
+
+type side = {
+  label : string;  (** For messages: ["network"], ["mapped@K=0.01"], ... *)
+  pi_names : string array;
+  output_names : string array;
+  simulate : int64 array -> int64 array;
+      (** Bit-parallel over 64 vectors; stimulus indexed like [pi_names],
+          result like [output_names]. *)
+}
+
+val of_network : ?label:string -> Cals_logic.Network.t -> side
+val of_subject : ?label:string -> Cals_netlist.Subject.t -> side
+val of_mapped : ?label:string -> Cals_netlist.Mapped.t -> side
+
+type counterexample = {
+  output : string;  (** First differing primary output. *)
+  expected : bool;  (** The first side's value under [assignment]. *)
+  got : bool;  (** The second side's value. *)
+  pis : string array;
+  assignment : bool array;
+      (** One value per PI; irrelevant PIs are canonicalized to [false]. *)
+  relevant : bool array;
+      (** [relevant.(i)] iff flipping PI [i] alone makes the two sides
+          agree again — the shrunk core of the counterexample. *)
+  round : int;  (** 1-based simulation round that exposed the mismatch. *)
+}
+
+val num_relevant : counterexample -> int
+
+val counterexample_to_string : counterexample -> string
+(** One line: the differing output, both values, and the essential PI
+    assignments only. *)
+
+val check :
+  ?rounds:int ->
+  rng:Cals_util.Rng.t ->
+  side ->
+  side ->
+  (unit, counterexample) result
+(** [check ~rounds ~rng a b] runs [rounds] (default 8) rounds of 64 shared
+    random vectors. On the first differing output bit it rebuilds the
+    single failing assignment and shrinks it: each PI is flipped in turn
+    and, when the mismatch survives both values, pinned to [false] and
+    marked irrelevant.
+
+    @raise Invalid_argument when the two sides disagree on PI or output
+    names (a structural, not functional, mismatch). *)
+
+val check_exn : ?rounds:int -> rng:Cals_util.Rng.t -> stage:string -> side -> side -> unit
+(** {!check} wired into {!Check}: records a pass or raises
+    {!Check.Violation} with the rendered counterexample. *)

@@ -1,0 +1,178 @@
+module Rng = Cals_util.Rng
+module Metrics = Cals_telemetry.Metrics
+
+let log_src = Logs.Src.create "cals.fuzz" ~doc:"Shrinking flow fuzzer"
+
+module Log = (val Logs.src_log log_src)
+
+let m_iterations =
+  Metrics.counter ~help:"Fuzz workloads checked" "verify_fuzz_iterations"
+
+let m_failures =
+  Metrics.counter ~help:"Fuzz workloads that failed a check" "verify_fuzz_failures"
+
+let m_shrink_steps =
+  Metrics.counter ~help:"Accepted fuzz shrink steps" "verify_fuzz_shrink_steps"
+
+type family =
+  | Pla
+  | Multilevel
+
+type params = {
+  seed : int;
+  family : family;
+  inputs : int;
+  outputs : int;
+  size : int;
+}
+
+type failure = {
+  params : params;
+  stage : string;
+  detail : string;
+  shrink_steps : int;
+}
+
+type outcome = {
+  iterations : int;
+  failure : failure option;
+}
+
+let family_to_string = function Pla -> "pla" | Multilevel -> "multilevel"
+
+let family_of_string = function
+  | "pla" -> Pla
+  | "multilevel" -> Multilevel
+  | s -> failwith (Printf.sprintf "Fuzz: unknown family %S" s)
+
+let params_to_string p =
+  Printf.sprintf "%s seed=%d inputs=%d outputs=%d size=%d"
+    (family_to_string p.family) p.seed p.inputs p.outputs p.size
+
+(* Parameter-space floors; shrinking never goes below these (Gen rejects
+   degenerate sizes, and a 4-input circuit is still a readable repro). *)
+let min_inputs = 4
+let min_outputs = 2
+let min_size = 4
+
+let sample rng =
+  let family = if Rng.bool rng then Pla else Multilevel in
+  {
+    seed = Rng.int rng 1_000_000;
+    family;
+    inputs = Rng.range rng min_inputs 12;
+    outputs = Rng.range rng min_outputs 10;
+    size =
+      (match family with
+      | Pla -> Rng.range rng 12 80
+      | Multilevel -> Rng.range rng 10 50);
+  }
+
+(* Shrink candidates, most aggressive first: halve each dimension toward
+   its floor, then decrement. The seed is never shrunk — it is what makes
+   the workload reproducible. *)
+let candidates p =
+  let clamp lo v = max lo v in
+  List.filter
+    (fun c -> c <> p)
+    [
+      { p with inputs = clamp min_inputs (p.inputs / 2) };
+      { p with outputs = clamp min_outputs (p.outputs / 2) };
+      { p with size = clamp min_size (p.size / 2) };
+      { p with inputs = clamp min_inputs (p.inputs - 1) };
+      { p with outputs = clamp min_outputs (p.outputs - 1) };
+      { p with size = clamp min_size (p.size - 1) };
+    ]
+
+let shrink ~check ~budget p0 stage0 detail0 =
+  let steps = ref 0 and calls = ref 0 in
+  let rec go p stage detail =
+    let rec try_candidates = function
+      | [] -> { params = p; stage; detail; shrink_steps = !steps }
+      | c :: rest ->
+        if !calls >= budget then { params = p; stage; detail; shrink_steps = !steps }
+        else begin
+          incr calls;
+          match check c with
+          | Ok () -> try_candidates rest
+          | Error (stage', detail') ->
+            incr steps;
+            Metrics.incr m_shrink_steps;
+            Log.info (fun m ->
+                m "shrunk to %s (step %d)" (params_to_string c) !steps);
+            go c stage' detail'
+        end
+    in
+    try_candidates (candidates p)
+  in
+  go p0 stage0 detail0
+
+let write_reproducer ~path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  Printf.fprintf oc "# cals fuzz reproducer — replay with: cals fuzz --replay %s\n" path;
+  Printf.fprintf oc "stage: %s\n" f.stage;
+  Printf.fprintf oc "detail: %s\n" (String.map (function '\n' -> ' ' | c -> c) f.detail);
+  Printf.fprintf oc "shrink-steps: %d\n" f.shrink_steps;
+  Printf.fprintf oc "family: %s\n" (family_to_string f.params.family);
+  Printf.fprintf oc "seed: %d\n" f.params.seed;
+  Printf.fprintf oc "inputs: %d\n" f.params.inputs;
+  Printf.fprintf oc "outputs: %d\n" f.params.outputs;
+  Printf.fprintf oc "size: %d\n" f.params.size
+
+let run ?(iterations = 25) ?(seed = 0) ?reproducer_path ~check () =
+  let rng = Rng.create seed in
+  let rec loop i =
+    if i > iterations then { iterations; failure = None }
+    else begin
+      let p = sample rng in
+      Metrics.incr m_iterations;
+      Log.info (fun m -> m "iteration %d/%d: %s" i iterations (params_to_string p));
+      match check p with
+      | Ok () -> loop (i + 1)
+      | Error (stage, detail) ->
+        Metrics.incr m_failures;
+        Log.warn (fun m ->
+            m "iteration %d failed [%s]: %s — shrinking" i stage detail);
+        let failure = shrink ~check ~budget:200 p stage detail in
+        Option.iter (fun path -> write_reproducer ~path failure) reproducer_path;
+        { iterations = i; failure = Some failure }
+    end
+  in
+  loop 1
+
+let read_reproducer path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let fields = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.index_opt line ':' with
+         | Some i ->
+           let key = String.trim (String.sub line 0 i) in
+           let value =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           Hashtbl.replace fields key value
+         | None -> ()
+     done
+   with End_of_file -> ());
+  let get key =
+    match Hashtbl.find_opt fields key with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Fuzz: reproducer %s lacks %S" path key)
+  in
+  let int_of key =
+    match int_of_string_opt (get key) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Fuzz: reproducer %s: bad %S" path key)
+  in
+  {
+    seed = int_of "seed";
+    family = family_of_string (get "family");
+    inputs = int_of "inputs";
+    outputs = int_of "outputs";
+    size = int_of "size";
+  }

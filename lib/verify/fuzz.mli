@@ -1,0 +1,59 @@
+(** Shrinking fuzz harness for the whole synthesis flow.
+
+    The harness owns the search: it samples random workload parameters,
+    hands each {!params} record to a caller-supplied [check] callback (which
+    builds the circuit, runs the flow with checks on, and reports the first
+    failing stage), and — when a workload fails — greedily shrinks the
+    parameters toward the smallest circuit that still fails, writing a
+    reproducer file to disk.
+
+    Keeping the callback abstract keeps this module free of a dependency on
+    the flow driver (which itself depends on this library's checkers); the
+    canonical callback is [Cals_core.Harness.check_params]. *)
+
+type family =
+  | Pla  (** {!Cals_workload.Gen.pla}-shaped two-level logic. *)
+  | Multilevel  (** {!Cals_workload.Gen.multilevel} random control logic. *)
+
+type params = {
+  seed : int;  (** Seed for the workload's own generator. *)
+  family : family;
+  inputs : int;
+  outputs : int;
+  size : int;  (** Product-pool size (Pla) or internal nodes (Multilevel). *)
+}
+
+type failure = {
+  params : params;  (** Fully shrunk. *)
+  stage : string;
+  detail : string;
+  shrink_steps : int;  (** Accepted shrink steps from the original params. *)
+}
+
+type outcome = {
+  iterations : int;  (** Workloads checked before stopping. *)
+  failure : failure option;
+}
+
+val params_to_string : params -> string
+(** One line, e.g. ["pla seed=77 inputs=8 outputs=4 size=24"]. *)
+
+val run :
+  ?iterations:int ->
+  ?seed:int ->
+  ?reproducer_path:string ->
+  check:(params -> (unit, string * string) result) ->
+  unit ->
+  outcome
+(** [run ~iterations ~seed ~check ()] samples [iterations] (default 25)
+    workloads from the harness RNG seeded with [seed] (default 0) and stops
+    at the first failure, shrinking it and — when [reproducer_path] is
+    given — writing the reproducer there. [check] returns
+    [Error (stage, detail)] for a failing workload; exceptions escaping
+    [check] abort the harness (wrap them in the callback). *)
+
+val write_reproducer : path:string -> failure -> unit
+
+val read_reproducer : string -> params
+(** Parse a reproducer file back into its parameters.
+    @raise Failure on a malformed file. *)

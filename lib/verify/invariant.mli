@@ -1,0 +1,32 @@
+(** Structural invariant checkers for physical-design stages.
+
+    Each checker re-derives a stage's claimed properties from first
+    principles — row geometry for placement, the routing grid for routing —
+    and returns a diagnosis naming the first offending cell, net or edge.
+    They are pure observers: nothing in the checked structures is
+    mutated. *)
+
+val check_placement :
+  floorplan:Cals_place.Floorplan.t ->
+  Cals_netlist.Mapped.t ->
+  Cals_place.Placement.mapped_placement ->
+  (unit, string) result
+(** Legalized-placement invariants:
+    - one position per instance (and per PI / PO pad),
+    - every cell center sits on a row center and on the site grid,
+    - every cell lies fully inside the core,
+    - cells sharing a row do not overlap,
+    - the recorded [row_fill] frontier equals the re-derived last occupied
+      site of each row. *)
+
+val check_routing :
+  ?usage:bool -> Cals_route.Router.result -> (unit, string) result
+(** Routed-result invariants:
+    - every route's edges are legal grid edges,
+    - every segment's path connects its two endpoint gcells,
+    - for every net, all its pin gcells are connected by the union of its
+      segments' paths,
+    - with [usage] (default [true]): per-edge usage re-derived from the
+      routes matches the grid's usage arrays exactly, and the derived
+      totals (overflow, violations, per-net and total wirelength) match
+      the figures in the result record. *)

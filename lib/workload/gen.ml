@@ -82,3 +82,9 @@ let multilevel ~rng ~inputs ~outputs ~internal_nodes ?(fanins_lo = 2)
     Network.set_output net (Printf.sprintf "o%d" o) s
   done;
   net
+
+let of_fuzz ~family ~seed ~inputs ~outputs ~size =
+  let rng = Rng.create seed in
+  match family with
+  | `Pla -> pla ~rng ~inputs ~outputs ~products:size ()
+  | `Multilevel -> multilevel ~rng ~inputs ~outputs ~internal_nodes:size ()

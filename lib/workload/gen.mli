@@ -36,3 +36,14 @@ val multilevel :
 (** Layered random logic: each node computes a small random SOP over
     already-defined signals (biased toward recent ones for locality);
     outputs tap the last nodes. *)
+
+val of_fuzz :
+  family:[ `Pla | `Multilevel ] ->
+  seed:int ->
+  inputs:int ->
+  outputs:int ->
+  size:int ->
+  Cals_logic.Network.t
+(** Workload construction from a fuzzer parameter tuple: [size] is the
+    product-pool size for [`Pla] and the internal node count for
+    [`Multilevel]. Deterministic in [seed]. *)
