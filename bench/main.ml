@@ -19,6 +19,7 @@ module Congestion = Cals_route.Congestion
 module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Partition = Cals_core.Partition
+module Incremental = Cals_core.Incremental
 module Flow = Cals_core.Flow
 module Check = Cals_verify.Check
 module Presets = Cals_workload.Presets
@@ -506,6 +507,41 @@ let perf_report ~scale ~jobs ~json =
     jobs par_s speedup identical;
   if not identical then
     print_endline "  WARNING: parallel flow diverged from the sequential loop";
+  (* Cold vs incremental mapping sweep: the match cache's win — one match
+     phase, then only the cost-combination DP per K point. Placement and
+     routing are untouched by the engine, so the pair times the mapping
+     phase alone (the flow:k-sweep-* Bechamel pair measures the same);
+     identity is still checked instance for instance. *)
+  let cold_sweep, cold_s =
+    wall (fun () ->
+        List.map
+          (fun k ->
+            Mapper.map subject ~library ~positions:circuit.positions
+              (Mapper.congestion_aware ~k))
+          k_schedule)
+  in
+  let session =
+    Incremental.create ~subject ~library ~positions:circuit.positions ()
+  in
+  let inc_sweep, inc_s =
+    wall (fun () -> List.map (fun k -> Incremental.map session ~k) k_schedule)
+  in
+  let sweep_speedup = cold_s /. max 1e-9 inc_s in
+  let sweep_identical =
+    List.for_all2
+      (fun (a : Mapper.result) (b : Mapper.result) ->
+        a.Mapper.stats = b.Mapper.stats
+        && a.Mapper.mapped.Mapped.instances = b.Mapper.mapped.Mapped.instances)
+      cold_sweep inc_sweep
+  in
+  let cache_hit_rate = Incremental.hit_rate (Incremental.stats session) in
+  Printf.printf
+    "  mapping sweep (%d K points): cold %.3fs, incremental %.3fs, speedup \
+     %.2fx, cache hit rate %.3f, identical=%b\n"
+    (List.length k_schedule)
+    cold_s inc_s sweep_speedup cache_hit_rate sweep_identical;
+  if not sweep_identical then
+    print_endline "  WARNING: incremental sweep diverged from the cold sweep";
   let spans = Export.span_stats () in
   (match json with
   | None -> ()
@@ -525,7 +561,7 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 2,\n\
+      \  \"schema\": 3,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -547,6 +583,14 @@ let perf_report ~scale ~jobs ~json =
       \    \"speedup\": %.3f,\n\
       \    \"parallel_identical\": %b\n\
       \  },\n\
+      \  \"sweep\": {\n\
+      \    \"k_points\": %d,\n\
+      \    \"cold_s\": %.6f,\n\
+      \    \"incremental_s\": %.6f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"cache_hit_rate\": %.4f,\n\
+      \    \"identical\": %b\n\
+      \  },\n\
       \  \"spans\": [\n%s\n\
       \  ]\n\
        }\n"
@@ -555,7 +599,9 @@ let perf_report ~scale ~jobs ~json =
       jobs map_s place_s route_s matches matches_per_sec route_alloc_mb
       routing.Router.violations
       (List.length seq.Flow.iterations)
-      accepted_k seq_s par_s speedup identical spans_json;
+      accepted_k seq_s par_s speedup identical
+      (List.length k_schedule)
+      cold_s inc_s sweep_speedup cache_hit_rate sweep_identical spans_json;
     close_out oc;
     Printf.printf "  wrote %s\n" path);
   print_string (Export.summary ());
@@ -618,6 +664,25 @@ let micro_benchmarks () =
          ~floorplan:c.floorplan ~wire ~placement);
     Probe.disable ()
   in
+  (* The incremental engine's headline number: mapping the whole K ladder
+     cold (fresh partition + matching at every K) vs through one session
+     (match once, re-run only the cost-combination DP per K). *)
+  let sweep_cold () =
+    let c = Lazy.force circuit in
+    List.iter
+      (fun k ->
+        ignore
+          (Mapper.map c.subject ~library ~positions:c.positions
+             (Mapper.congestion_aware ~k)))
+      k_schedule
+  in
+  let sweep_incremental () =
+    let c = Lazy.force circuit in
+    let session =
+      Incremental.create ~subject:c.subject ~library ~positions:c.positions ()
+    in
+    List.iter (fun k -> ignore (Incremental.map session ~k)) k_schedule
+  in
   (* Verification overhead: one full K point with the checkers off (the
      shipped default) vs Full (invariants + equivalence + usage audit). *)
   let checks_work level () =
@@ -637,6 +702,8 @@ let micro_benchmarks () =
       Test.make ~name:"route:maze-telemetry-on" (Staged.stage (maze_work true));
       Test.make ~name:"flow:k-point-checks-off" (Staged.stage (checks_work Check.Off));
       Test.make ~name:"flow:k-point-checks-full" (Staged.stage (checks_work Check.Full));
+      Test.make ~name:"flow:k-sweep-cold" (Staged.stage sweep_cold);
+      Test.make ~name:"flow:k-sweep-incremental" (Staged.stage sweep_incremental);
     ]
   in
   let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
@@ -676,6 +743,11 @@ let micro_benchmarks () =
   | Some off, Some on when off > 0.0 ->
     Printf.printf "  telemetry-enabled maze route: %+.2f%% vs disabled\n"
       (100.0 *. ((on /. off) -. 1.0))
+  | _ -> ());
+  (match (find "flow:k-sweep-cold", find "flow:k-sweep-incremental") with
+  | Some cold, Some inc when inc > 0.0 ->
+    Printf.printf "  incremental K sweep: %.2fx faster than cold re-mapping\n"
+      (cold /. inc)
   | _ -> ());
   print_newline ()
 

@@ -107,8 +107,8 @@ let run_map input scale seed optimize k utilization output =
 
 (* ------------------------- flow ------------------------- *)
 
-let run_flow verbosity input scale seed optimize utilization jobs checks trace
-    metrics =
+let run_flow verbosity input scale seed optimize utilization jobs checks
+    incremental trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
@@ -116,6 +116,8 @@ let run_flow verbosity input scale seed optimize utilization jobs checks trace
   Printf.printf "die: %s\n" (Floorplan.describe floorplan);
   if checks <> Check.Off then
     Printf.printf "verification checks: %s\n" (Check.level_to_string checks);
+  if not incremental then
+    print_endline "incremental K-loop engine disabled (cold re-mapping per K)";
   let rng = Cals_util.Rng.create (seed + 1) in
   let outcome =
     try
@@ -123,9 +125,10 @@ let run_flow verbosity input scale seed optimize utilization jobs checks trace
         (if jobs > 1 then begin
            Printf.printf
              "evaluating the K schedule speculatively on %d domains\n" jobs;
-           Flow.run_parallel ~jobs ~checks ~subject ~library ~floorplan ~rng ()
+           Flow.run_parallel ~jobs ~checks ~incremental ~subject ~library
+             ~floorplan ~rng ()
          end
-         else Flow.run ~checks ~subject ~library ~floorplan ~rng ())
+         else Flow.run ~checks ~incremental ~subject ~library ~floorplan ~rng ())
     with Check.Violation { stage; detail } -> Error (stage, detail)
   in
   let code =
@@ -314,6 +317,18 @@ let check_arg =
     & opt ~vopt:Check.Full check_level_conv Check.Off
     & info [ "check" ] ~docv:"LEVEL" ~doc)
 
+let incremental_arg =
+  let doc =
+    "Drive the K schedule through the incremental engine (match the \
+     patterns once per tree, re-run only the cost DP per K). On by \
+     default; $(b,--incremental=off) forces cold re-mapping at every K \
+     point — the result is bit-identical either way."
+  in
+  Arg.(
+    value
+    & opt ~vopt:true (enum [ ("on", true); ("off", false) ]) true
+    & info [ "incremental" ] ~docv:"on|off" ~doc)
+
 let trace_arg =
   let doc =
     "Record spans for the whole run and write a Chrome trace_event JSON file \
@@ -353,8 +368,8 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
-      $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg $ trace_arg
-      $ metrics_arg)
+      $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg
+      $ incremental_arg $ trace_arg $ metrics_arg)
 
 let fuzz_iterations_arg =
   let doc = "Number of random workloads to check." in

@@ -92,6 +92,65 @@ let enumerate_matches subject (partition : Partition.t) pattern v =
   in
   go pattern v []
 
+(* ---------------- K-independent match sets ---------------- *)
+
+(* A structural candidate: a cell whose pattern binds at a vertex. The
+   binding depends only on the subject graph, the partition and the
+   library — never on K, the companion placement or the DP state — so it
+   can be computed once per tree and reused across a whole K schedule. *)
+type candidate = {
+  cand_cell : Cell.t;
+  cand_leaves : int array;  (** Subject node per pattern variable. *)
+  cand_covered : int list;  (** Base gates the match consumes. *)
+}
+
+type node_matches = {
+  candidates : candidate array;
+      (** In exact (cell, pattern, binding) enumeration order — the DP's
+          tie-breaking depends on this order, so cached and freshly
+          enumerated candidates must agree element for element. *)
+  enumerated : int;
+      (** Raw bindings enumerated, including ones rejected for unbound
+          variables; keeps [matches_evaluated] identical to a cold run. *)
+}
+
+type matchset = node_matches option array
+
+let match_node subject ~library ~(partition : Partition.t) v =
+  let enumerated = ref 0 in
+  let acc = ref [] in
+  List.iter
+    (fun (cell : Cell.t) ->
+      List.iter
+        (fun pattern ->
+          List.iter
+            (fun (binding, covered) ->
+              incr enumerated;
+              let nvars = Pattern.num_vars pattern in
+              let leaves = Array.make nvars (-1) in
+              List.iter (fun (var, node) -> leaves.(var) <- node) binding;
+              if not (Array.exists (fun l -> l < 0) leaves) then
+                acc :=
+                  { cand_cell = cell; cand_leaves = leaves;
+                    cand_covered = covered }
+                  :: !acc)
+            (enumerate_matches subject partition pattern v))
+        cell.Cell.patterns)
+    (Library.cells library);
+  { candidates = Array.of_list (List.rev !acc); enumerated = !enumerated }
+
+let is_gate subject v =
+  match subject.Subject.gates.(v) with
+  | Subject.Pi _ -> false
+  | Subject.Inv _ | Subject.Nand2 _ -> true
+
+let matchsets subject ~library ~(partition : Partition.t) =
+  let n = Subject.num_nodes subject in
+  Array.init n (fun v ->
+      if partition.Partition.live.(v) && is_gate subject v then
+        Some (match_node subject ~library ~partition v)
+      else None)
+
 (* Wire cost of the Pedram-Bhat-style transitive variant: total original
    edge length of the full fanin cone below a node. *)
 let tfi_wire subject ~positions ~distance =
@@ -115,7 +174,7 @@ let tfi_wire subject ~positions ~distance =
   done;
   memo
 
-let run subject ~library ~partition ~positions options =
+let run ?matchsets:cached subject ~library ~partition ~positions options =
   let n = Subject.num_nodes subject in
   let pos_cur = Array.copy positions in
   let sols : solution option array = Array.make n None in
@@ -131,96 +190,82 @@ let run subject ~library ~partition ~positions options =
     else None
   in
   let evaluated = ref 0 in
-  let consider v (cell : Cell.t) pattern =
-    let candidates = enumerate_matches subject partition pattern v in
-    List.filter_map
-      (fun (binding, covered) ->
-        incr evaluated;
-        let nvars = Pattern.num_vars pattern in
-        let leaves = Array.make nvars (-1) in
-        List.iter (fun (var, node) -> leaves.(var) <- node) binding;
-        if Array.exists (fun l -> l < 0) leaves then None
-        else begin
-          let area_cost =
-            Array.fold_left
-              (fun acc l -> acc +. node_area.(l))
-              cell.Cell.area leaves
-          in
-          let com =
-            Geom.center_of_mass (List.map (fun u -> pos_cur.(u)) covered)
-          in
-          let wire_cost =
-            match tfi with
-            | Some cone ->
-              (* Charge every leaf at its original position plus its whole
-                 cone: the uncontrolled variant of Section 3.3. *)
-              Array.fold_left
-                (fun acc l -> acc +. options.distance com positions.(l) +. cone.(l))
-                0.0 leaves
-            | None ->
-              let wire1 =
-                Array.fold_left
-                  (fun acc l -> acc +. options.distance com node_com.(l))
-                  0.0 leaves
-              in
-              if options.include_wire2 then
-                Array.fold_left (fun acc l -> acc +. node_wire.(l)) wire1 leaves
-              else wire1
-          in
-          let arrival_ns =
-            let latest =
-              Array.fold_left
-                (fun acc l -> max acc node_arrival.(l))
-                0.0 leaves
-            in
-            let load =
-              match options.objective with
-              | Min_delay { load_pf } -> load_pf
-              | Min_area -> 0.01
-            in
-            latest +. Cell.delay_ns cell ~load_pf:load
-          in
-          let primary =
-            match options.objective with
-            | Min_area -> area_cost
-            | Min_delay _ -> arrival_ns
-          in
-          let cost = primary +. (options.k *. wire_cost) in
-          Some { cell; leaves; covered; area_cost; wire_cost; arrival_ns; cost; com }
-        end)
-      candidates
-  in
-  let is_gate v =
-    match subject.Subject.gates.(v) with
-    | Subject.Pi _ -> false
-    | Subject.Inv _ | Subject.Nand2 _ -> true
+  (* Cost of one structural candidate against the current DP state (Eqs.
+     1-3 and 5). This is the only per-K work: the candidate itself is
+     K-independent and may come from a cache. *)
+  let eval_candidate { cand_cell = cell; cand_leaves = leaves;
+                       cand_covered = covered } =
+    let area_cost =
+      Array.fold_left
+        (fun acc l -> acc +. node_area.(l))
+        cell.Cell.area leaves
+    in
+    let com = Geom.center_of_mass (List.map (fun u -> pos_cur.(u)) covered) in
+    let wire_cost =
+      match tfi with
+      | Some cone ->
+        (* Charge every leaf at its original position plus its whole
+           cone: the uncontrolled variant of Section 3.3. *)
+        Array.fold_left
+          (fun acc l -> acc +. options.distance com positions.(l) +. cone.(l))
+          0.0 leaves
+      | None ->
+        let wire1 =
+          Array.fold_left
+            (fun acc l -> acc +. options.distance com node_com.(l))
+            0.0 leaves
+        in
+        if options.include_wire2 then
+          Array.fold_left (fun acc l -> acc +. node_wire.(l)) wire1 leaves
+        else wire1
+    in
+    let arrival_ns =
+      let latest =
+        Array.fold_left (fun acc l -> max acc node_arrival.(l)) 0.0 leaves
+      in
+      let load =
+        match options.objective with
+        | Min_delay { load_pf } -> load_pf
+        | Min_area -> 0.01
+      in
+      latest +. Cell.delay_ns cell ~load_pf:load
+    in
+    let primary =
+      match options.objective with
+      | Min_area -> area_cost
+      | Min_delay _ -> arrival_ns
+    in
+    let cost = primary +. (options.k *. wire_cost) in
+    { cell; leaves; covered; area_cost; wire_cost; arrival_ns; cost; com }
   in
   for v = 0 to n - 1 do
-    if partition.Partition.live.(v) && is_gate v then begin
-      let evaluated_before = !evaluated in
+    if partition.Partition.live.(v) && is_gate subject v then begin
+      let nm =
+        match cached with
+        | Some ms -> (
+          match ms.(v) with
+          | Some nm -> nm
+          | None -> match_node subject ~library ~partition v)
+        | None -> match_node subject ~library ~partition v
+      in
+      evaluated := !evaluated + nm.enumerated;
       let best = ref None in
-      List.iter
-        (fun cell ->
-          List.iter
-            (fun pattern ->
-              List.iter
-                (fun sol ->
-                  match !best with
-                  | Some b
-                    when b.cost < sol.cost
-                         || (b.cost = sol.cost && b.area_cost <= sol.area_cost) ->
-                    ()
-                  | Some _ | None -> best := Some sol)
-                (consider v cell pattern))
-            cell.Cell.patterns)
-        (Library.cells library);
+      Array.iter
+        (fun cand ->
+          let sol = eval_candidate cand in
+          match !best with
+          | Some b
+            when b.cost < sol.cost
+                 || (b.cost = sol.cost && b.area_cost <= sol.area_cost) ->
+            ()
+          | Some _ | None -> best := Some sol)
+        nm.candidates;
       match !best with
       | None ->
         (* Cannot happen: INV and NAND2 always match. *)
         failwith "Cover.run: no match at a live gate"
       | Some sol ->
-        Metrics.observe m_matches_per_vertex
-          (float_of_int (!evaluated - evaluated_before));
+        Metrics.observe m_matches_per_vertex (float_of_int nm.enumerated);
         sols.(v) <- Some sol;
         node_com.(v) <- sol.com;
         node_wire.(v) <- sol.wire_cost;

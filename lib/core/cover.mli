@@ -55,13 +55,63 @@ type solution = {
 type t
 (** Covering state: one chosen solution per live gate. *)
 
+(** {2 K-independent match sets}
+
+    Pattern matching is purely structural: a candidate binding depends on
+    the subject graph, the partition and the library, but not on K, the
+    companion placement or the DP state. A K-schedule sweep can therefore
+    enumerate matches once and re-run only the cost-combination DP per K
+    point — the incremental engine ({!Incremental}) caches these per
+    partition tree. *)
+
+type candidate = {
+  cand_cell : Cals_cell.Cell.t;
+  cand_leaves : int array;  (** Subject node per pattern variable. *)
+  cand_covered : int list;  (** Base gates the match consumes. *)
+}
+
+type node_matches = {
+  candidates : candidate array;
+      (** In exact (cell, pattern, binding) enumeration order; the DP's
+          tie-breaking depends on this order. *)
+  enumerated : int;
+      (** Raw bindings enumerated (including rejected ones), so that
+          {!matches_evaluated} is identical whether or not a cache was
+          used. *)
+}
+
+type matchset = node_matches option array
+(** Indexed by subject node; [None] for primary inputs and dead gates. *)
+
+val match_node :
+  Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  partition:Partition.t ->
+  int ->
+  node_matches
+(** All structural candidates at one live gate. *)
+
+val matchsets :
+  Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  partition:Partition.t ->
+  matchset
+(** [match_node] over every live gate. *)
+
 val run :
+  ?matchsets:matchset ->
   Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   partition:Partition.t ->
   positions:Cals_util.Geom.point array ->
   options ->
   t
+(** With [matchsets] the enumeration phase is skipped wherever the array
+    has an entry (holes fall back to {!match_node}); the result — chosen
+    solutions, costs, tie-breaks and [matches_evaluated] — is bit-identical
+    to a cold run, because the DP consumes candidates in the same order
+    either way. The caller must pass a matchset computed against the same
+    subject, library and partition. *)
 
 val solution : t -> int -> solution option
 (** The chosen match at a live gate ([None] for PIs / dead gates). *)

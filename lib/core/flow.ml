@@ -57,25 +57,39 @@ let overflow_report =
   }
 
 (* Per-K equivalence stimulus must depend only on K so that the
-   speculative [run_parallel] sees exactly the streams [run] would. *)
-let equiv_rng ~k = Cals_util.Rng.create (Int64.to_int (Int64.bits_of_float k))
+   speculative [run_parallel] and the incremental engine see exactly the
+   streams the sequential cold [run] would. The seed derivation lives in
+   one place and is hoisted to the top of [evaluate_k], before any
+   mapper/cache work, so that no amount of warm-start reuse can reorder
+   or perturb it. *)
+let equiv_seed ~k = Int64.to_int (Int64.bits_of_float k)
 
-let check_equiv ~checks ~subject ~k mapped =
+let check_equiv ~checks ~subject ~seed ~k mapped =
   Equiv.check_exn
     ~rounds:(Check.rounds checks)
-    ~rng:(equiv_rng ~k) ~stage:"equiv" (Equiv.of_subject subject)
+    ~rng:(Cals_util.Rng.create seed)
+    ~stage:"equiv" (Equiv.of_subject subject)
     (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped)
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
-    ~subject ~library ~floorplan ~positions ~k () =
+    ?session ~subject ~library ~floorplan ~positions ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
   Metrics.incr m_k_evaluated;
-  let options = { (Mapper.congestion_aware ~k) with strategy } in
+  let seed = equiv_seed ~k in
   let verify = checks <> Check.Off in
-  let result = Mapper.map ~verify subject ~library ~positions options in
+  let result =
+    match session with
+    | Some session ->
+      (* Warm-start re-mapping: the session carries the partition and the
+         cached per-tree match sets (its strategy overrides [strategy]). *)
+      Incremental.map ~verify session ~k
+    | None ->
+      let options = { (Mapper.congestion_aware ~k) with strategy } in
+      Mapper.map ~verify subject ~library ~positions options
+  in
   let mapped = result.Mapper.mapped in
-  if checks = Check.Full then check_equiv ~checks ~subject ~k mapped;
+  if checks = Check.Full then check_equiv ~checks ~subject ~seed ~k mapped;
   let cell_area = Mapped.total_area mapped in
   let utilization = Floorplan.utilization floorplan ~cell_area in
   match Placement.place_mapped_seeded mapped ~floorplan with
@@ -115,7 +129,8 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
 (* Cheap defers equivalence to the single netlist the flow ships; Full
    already checked every K point inside [evaluate_k]. *)
 let check_accepted ~checks ~subject ~k mapped =
-  if checks = Check.Cheap then check_equiv ~checks ~subject ~k mapped
+  if checks = Check.Cheap then
+    check_equiv ~checks ~subject ~seed:(equiv_seed ~k) ~k mapped
 
 let log_rejected (it : iteration) =
   Log.debug (fun m ->
@@ -129,12 +144,32 @@ let log_accepted (it : iteration) =
         it.report.Congestion.total_overflow it.cells
         (100.0 *. it.utilization))
 
+(* Base mapper options of the flow's session: [evaluate_k]'s own default
+   is PDP via [Mapper.congestion_aware], so the session must agree. *)
+let session_options strategy =
+  let base = Mapper.congestion_aware ~k:0.0 in
+  match strategy with
+  | Some strategy -> { base with Mapper.strategy }
+  | None -> base
+
+let make_session ~incremental ?strategy ~subject ~library ~positions () =
+  if not incremental then None
+  else
+    Some
+      (Incremental.create
+         ~options:(session_options strategy)
+         ~subject ~library ~positions ())
+
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ~subject ~library ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(incremental = true) ~subject ~library ~floorplan
+    ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
     Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
     Placement.place_subject subject ~floorplan ~rng
+  in
+  let session =
+    make_session ~incremental ?strategy ~subject ~library ~positions ()
   in
   let rec loop schedule acc =
     match schedule with
@@ -144,8 +179,8 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
         placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
-        evaluate_k ?router_config ?strategy ~checks ~subject ~library ~floorplan
-          ~positions ~k ()
+        evaluate_k ?router_config ?strategy ~checks ?session ~subject ~library
+          ~floorplan ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
         log_accepted iteration;
@@ -174,10 +209,11 @@ let rec take_chunk n = function
   | rest -> ([], rest)
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ~jobs ~subject ~library ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(incremental = true) ~jobs ~subject ~library
+    ~floorplan ~rng () =
   if jobs <= 1 then
-    run ~k_schedule ?router_config ?strategy ~checks ~subject ~library
-      ~floorplan ~rng ()
+    run ~k_schedule ?router_config ?strategy ~checks ~incremental ~subject
+      ~library ~floorplan ~rng ()
   else begin
     Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
       "flow.run_parallel"
@@ -186,6 +222,17 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
       Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
       Placement.place_subject subject ~floorplan ~rng
     in
+    let session =
+      make_session ~incremental ?strategy ~subject ~library ~positions ()
+    in
+    (* Sequential match phase: enumerate every tree once, then freeze the
+       cache so the worker domains share it read-only. *)
+    Option.iter
+      (fun s ->
+        Span.with_ ~cat:"flow" "flow.match_phase" (fun () ->
+            Incremental.warm s);
+        Incremental.seal s)
+      session;
     let pool = Cals_util.Pool.create ~jobs in
     Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool) @@ fun () ->
     (* Evaluate the schedule speculatively, [jobs] K points at a time.
@@ -209,8 +256,8 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
-              evaluate_k ?router_config ?strategy ~checks ~subject ~library
-                ~floorplan ~positions ~k ())
+              evaluate_k ?router_config ?strategy ~checks ?session ~subject
+                ~library ~floorplan ~positions ~k ())
             (Array.of_list chunk)
         in
         let n = Array.length results in

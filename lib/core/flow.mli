@@ -30,6 +30,7 @@ val run :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?incremental:bool ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -44,14 +45,22 @@ val run :
     runs alongside the loop — see {!Cals_verify.Check.level}. Checks never
     change the outcome; a violated invariant raises
     {!Cals_verify.Check.Violation}. The equivalence stimulus is derived
-    from K alone, so checked runs stay deterministic and
-    {!run_parallel}-identical. *)
+    from K alone (see {!equiv_seed}), so checked runs stay deterministic
+    and {!run_parallel}-identical.
+
+    [incremental] (default [true]) drives the whole K schedule through one
+    {!Incremental} session: the partition and the per-tree pattern matches
+    are computed once and only the cost-combination DP re-runs per K
+    point. The outcome is bit-identical to a cold sweep — set
+    [incremental:false] to force cold re-mapping at every K (the escape
+    hatch behind [cals flow --incremental=off]). *)
 
 val run_parallel :
   ?k_schedule:float list ->
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?incremental:bool ->
   jobs:int ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -65,12 +74,18 @@ val run_parallel :
     the shared subject graph and companion placement, so chunks evaluate
     concurrently; the chunk is then scanned in schedule order and the
     first acceptable iteration wins, with speculative work past it
-    discarded. [jobs <= 1] falls back to {!run} directly. *)
+    discarded. [jobs <= 1] falls back to {!run} directly.
+
+    With [incremental] (the default) the match cache is populated by a
+    {e sequential} match phase (span ["flow.match_phase"]) and sealed
+    before the domains start, so the workers share it read-only — see
+    {!Incremental.seal}. *)
 
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?session:Incremental.session ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -82,4 +97,14 @@ val evaluate_k :
     * Cals_place.Placement.mapped_placement option
     * Cals_route.Router.result option)
 (** One K point against a precomputed companion placement — the primitive
-    the bench tables are built from. *)
+    the bench tables are built from. With [session] the mapping phase is
+    served by {!Incremental.map} (whose strategy overrides [strategy]);
+    the session must have been created from the same [subject],
+    [positions] and library. *)
+
+val equiv_seed : k:float -> int
+(** Seed of the per-K equivalence stimulus, derived from K alone and from
+    nothing else — not evaluation order, not cache state — so cold,
+    incremental and speculative-parallel runs all draw identical stimulus
+    streams at the same K. Hoisted to the top of {!evaluate_k} and shared
+    with the accepted-netlist spot-check. *)

@@ -1,0 +1,93 @@
+(** Incremental K-loop mapping sessions (warm-start re-mapping).
+
+    The Figure-3 methodology loop re-runs tree covering at every K
+    increment while the subject DAG, its PDP trees and the companion
+    placement are produced exactly once. Structural pattern matches are
+    K-independent — only the AREA/WIRE cost combination changes with K —
+    so a session computes the matches once per partition tree, caches them
+    keyed by a subject-tree fingerprint, and re-runs only the
+    cost-combination DP per K point.
+
+    {2 Cache keying and invalidation}
+
+    A session fixes the subject graph, the library, the companion
+    placement and the mapper options (everything but K). The partition is
+    computed once at {!create}; each of its trees gets a 64-bit FNV-1a
+    fingerprint over the tree's node ids, gate kinds, fanins and father
+    edges. The match cache maps fingerprint → per-node candidate sets, so
+
+    - a second {!map} call at a different K hits on every tree;
+    - a tree whose structure or father edges changed (e.g. a different
+      partition in some future re-partitioning session) fingerprints
+      differently and is re-enumerated, invalidating exactly the stale
+      entry and nothing else.
+
+    Results are bit-identical to a cold {!Mapper.map}: cached candidates
+    are stored in exact enumeration order, so the DP sees the same
+    sequence of matches and breaks ties identically (see
+    {!Cover.run}).
+
+    {2 Domain safety}
+
+    Cache insertion is mutex-protected, but concurrent lookups during
+    insertion are not safe on a shared [Hashtbl]. The intended parallel
+    protocol — what {!Flow.run_parallel} does — is: {!warm} the session
+    sequentially (one match phase), {!seal} it, then share it read-only
+    across domains. A sealed session never mutates the cache (a miss is
+    recomputed on the fly and dropped), so sealed lookups are race-free.
+    Hit/miss statistics are atomics and always safe. *)
+
+type stats = {
+  trees : int;  (** Partition trees in the session's subject. *)
+  hits : int;  (** Tree match sets served from the cache. *)
+  misses : int;  (** Tree match sets enumerated from scratch. *)
+  maps : int;  (** {!map} calls executed so far. *)
+}
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+type session
+
+val create :
+  ?options:Mapper.options ->
+  subject:Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  positions:Cals_util.Geom.point array ->
+  unit ->
+  session
+(** Partition once ([options.strategy], default
+    {!Mapper.congestion_aware}[ ~k:0.0], i.e. PDP) and fingerprint every
+    tree. [options.k] is irrelevant here — each {!map} call substitutes
+    its own K. *)
+
+val map : ?verify:bool -> session -> k:float -> Mapper.result
+(** One K point: assemble the cached match sets (enumerating any missing
+    tree) and run the cost-combination DP + extraction via {!Mapper.map}.
+    Bit-identical to the equivalent cold call
+    [Mapper.map ?verify subject ~library ~positions { options with k }]. *)
+
+val warm : session -> unit
+(** Sequential match phase: enumerate and cache every tree that is not
+    cached yet (counted as misses). After [warm], every {!map} lookup
+    hits. *)
+
+val seal : session -> unit
+(** Freeze the cache so the session can be shared read-only across
+    domains. Subsequent misses (impossible after {!warm} within one
+    session) are recomputed without being inserted. *)
+
+val stats : session -> stats
+(** Snapshot of the session-local counters. The global telemetry
+    counterparts are the [mapper_cache_hit] / [mapper_cache_miss]
+    counters in {!Cals_telemetry.Metrics}. *)
+
+val partition : session -> Partition.t
+(** The session's one-time partition (shared by every K point). *)
+
+val options : session -> Mapper.options
+(** The base options the session was created with. *)
+
+val fingerprints : session -> (int * int64) list
+(** [(root, fingerprint)] per tree, in root order — exposed for tests and
+    diagnostics. *)

@@ -53,13 +53,18 @@ type result = {
   partition : Partition.t;
 }
 
-let map ?(verify = false) subject ~library ~positions options =
+let map ?(verify = false) ?partition ?matchsets subject ~library ~positions
+    options =
   Span.with_ ~cat:"map" ~meta:(Printf.sprintf "K=%g" options.k) "mapper.map"
   @@ fun () ->
   Metrics.incr m_runs;
   let partition =
-    Span.with_ ~cat:"map" "mapper.partition" @@ fun () ->
-    Partition.run options.strategy subject ~positions ~distance:options.distance
+    match partition with
+    | Some p -> p
+    | None ->
+      Span.with_ ~cat:"map" "mapper.partition" @@ fun () ->
+      Partition.run options.strategy subject ~positions
+        ~distance:options.distance
   in
   let cover_options =
     {
@@ -73,7 +78,7 @@ let map ?(verify = false) subject ~library ~positions options =
   in
   let cover =
     Span.with_ ~cat:"map" "mapper.cover" @@ fun () ->
-    Cover.run subject ~library ~partition ~positions cover_options
+    Cover.run ?matchsets subject ~library ~partition ~positions cover_options
   in
   if verify then
     Cals_verify.Check.record ~stage:"cover" (Cover.check_coverage cover);

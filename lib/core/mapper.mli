@@ -50,6 +50,8 @@ type result = {
 
 val map :
   ?verify:bool ->
+  ?partition:Partition.t ->
+  ?matchsets:Cover.matchset ->
   Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   positions:Cals_util.Geom.point array ->
@@ -59,4 +61,12 @@ val map :
     per subject node, produced once per circuit). With [verify] (default
     [false]) the cover is checked for legality — every live gate covered by
     exactly the chosen matches — before extraction, and a violation raises
-    {!Cals_verify.Check.Violation} with stage ["cover"]. *)
+    {!Cals_verify.Check.Violation} with stage ["cover"].
+
+    [partition] and [matchsets] are the warm-start inputs threaded by
+    {!Incremental} sessions: a precomputed partition skips
+    {!Partition.run}, and a precomputed matchset skips pattern
+    enumeration inside {!Cover.run}. Both must have been derived from the
+    same [subject], [positions], library and [options] (modulo [k], which
+    neither depends on); the result is then bit-identical to a cold
+    call. *)

@@ -144,19 +144,27 @@ type replacement =
   | Constant of bool
 
 let apply_replacement t victim repl =
-  let rewrite_node n =
+  let rewrite_node i n =
     match repl with
     | Alias s ->
       n.fanins <-
         Array.map (fun f -> if f = Node victim then s else f) n.fanins
     | Constant b ->
+      let touched = ref false in
       Array.iteri
         (fun v f ->
-          if f = Node victim then n.sop <- Sop.cofactor n.sop v b)
-        n.fanins
+          if f = Node victim then begin
+            n.sop <- Sop.cofactor n.sop v b;
+            touched := true
+          end)
+        n.fanins;
+      (* The cofactor removed [victim] from the SOP support but not from
+         the fanin array; prune it, or the victim stays live through the
+         stale reference and the sweep fixpoint never converges. *)
+      if !touched then normalize_fanins t i
   in
   for i = 0 to t.n_nodes - 1 do
-    if i <> victim then rewrite_node (node t i)
+    if i <> victim then rewrite_node i (node t i)
   done;
   (match repl with
   | Alias s ->

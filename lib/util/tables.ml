@@ -66,6 +66,28 @@ let fmt_int n =
   let body = Buffer.contents buf in
   if n < 0 then "-" ^ body else body
 
+module Fnv64 = struct
+  let empty = 0xcbf29ce484222325L
+  let prime = 0x100000001b3L
+
+  let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+  let int h n =
+    (* Fold all eight bytes so node ids and small tags both perturb the
+       whole state; OCaml ints fit in 63 bits. *)
+    let x = Int64.of_int n in
+    let h = ref h in
+    for i = 0 to 7 do
+      h := byte !h (Int64.to_int (Int64.shift_right_logical x (i * 8)))
+    done;
+    !h
+
+  let string h s =
+    let h = ref h in
+    String.iter (fun c -> h := byte !h (Char.code c)) s;
+    !h
+end
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

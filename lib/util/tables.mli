@@ -14,6 +14,20 @@ val fmt_float : int -> float -> string
 val fmt_int : int -> string
 (** Decimal with thousands separators, e.g. [126394 -> "126,394"]. *)
 
+(** 64-bit FNV-1a incremental hashing — the fingerprint primitive used by
+    caches that key on structural summaries (e.g. the incremental mapper's
+    per-tree match cache). Deterministic across runs and domains. *)
+module Fnv64 : sig
+  val empty : int64
+  (** The FNV-1a offset basis. *)
+
+  val int : int64 -> int -> int64
+  (** Absorb an integer (all eight little-endian bytes). *)
+
+  val string : int64 -> string -> int64
+  (** Absorb every byte of a string. *)
+end
+
 val mean : float list -> float
 val stddev : float list -> float
 val percentile : float -> float list -> float

@@ -1,0 +1,183 @@
+(* Golden-corpus differential suite: small BLIF designs checked into
+   test/golden/ with expected per-K metrics snapshots. Any mapper,
+   placer or router change that shifts QoR fails loudly with a readable
+   per-line diff; the incremental engine is additionally diffed against
+   cold-start evaluation at every K point of every design.
+
+   Regenerate the snapshots (after an intentional QoR change) with:
+
+     CALS_GOLDEN_DIR=$PWD/test/golden CALS_GOLDEN_UPDATE=1 \
+       dune exec test/test_golden.exe *)
+
+module Flow = Cals_core.Flow
+module Incremental = Cals_core.Incremental
+module Subject = Cals_netlist.Subject
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Congestion = Cals_route.Congestion
+module Gen = Cals_workload.Gen
+module Rng = Cals_util.Rng
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry lib
+
+let golden_dir =
+  Option.value (Sys.getenv_opt "CALS_GOLDEN_DIR") ~default:"golden"
+
+let update_mode = Sys.getenv_opt "CALS_GOLDEN_UPDATE" <> None
+
+(* The corpus: deterministic generators stand in for the IWLS93 originals
+   (not redistributable); the BLIF files on disk are the authority once
+   generated. *)
+let designs =
+  [
+    ( "pla_shared_08",
+      fun () ->
+        Gen.pla ~rng:(Rng.create 301) ~inputs:8 ~outputs:6 ~products:40 () );
+    ( "pla_wide_10",
+      fun () ->
+        Gen.pla ~rng:(Rng.create 302) ~inputs:10 ~outputs:8 ~products:60
+          ~terms_lo:5 ~terms_hi:14 () );
+    ( "ml_control_10",
+      fun () ->
+        Gen.multilevel ~rng:(Rng.create 303) ~inputs:10 ~outputs:6
+          ~internal_nodes:40 () );
+    ( "ml_deep_08",
+      fun () ->
+        Gen.multilevel ~rng:(Rng.create 304) ~inputs:8 ~outputs:8
+          ~internal_nodes:30 () );
+    ( "pla_small_06",
+      fun () ->
+        Gen.pla ~rng:(Rng.create 305) ~inputs:6 ~outputs:4 ~products:24 () );
+  ]
+
+let k_points = [ 0.0; 0.0005; 0.001; 0.005; 0.01; 0.1 ]
+
+let blif_path name = Filename.concat golden_dir (name ^ ".blif")
+let expected_path name = Filename.concat golden_dir (name ^ ".expected")
+
+let load_network name make =
+  let path = blif_path name in
+  if update_mode && not (Sys.file_exists path) then
+    Cals_logic.Blif.write_file ~model:name path (make ());
+  Cals_logic.Blif.read_file path
+
+let fmt_iteration (it : Flow.iteration) =
+  if it.Flow.hpwl_um = infinity then
+    Printf.sprintf "K=%g DNF (does not legalize)" it.Flow.k
+  else
+    Printf.sprintf
+      "K=%g cells=%d area=%.4f util=%.6f hpwl=%.4f viol=%d ovfl=%.4f wl=%.4f"
+      it.Flow.k it.Flow.cells it.Flow.cell_area it.Flow.utilization
+      it.Flow.hpwl_um it.Flow.report.Congestion.violations
+      it.Flow.report.Congestion.total_overflow
+      it.Flow.report.Congestion.wirelength_um
+
+(* Per-K metrics of one design, computed twice — through an incremental
+   session and cold — and required to agree line for line before the
+   snapshot comparison even starts. *)
+let actual_lines name net =
+  Cals_logic.Network.sweep net;
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.45 ~aspect:1.0 ~geometry
+  in
+  let positions =
+    Placement.place_subject subject ~floorplan ~rng:(Rng.create 42)
+  in
+  let session =
+    Incremental.create ~subject ~library:lib ~positions ()
+  in
+  let header =
+    Printf.sprintf "design=%s gates=%d pis=%d pos=%d" name
+      (Subject.num_gates subject) (Subject.num_pis subject)
+      (Array.length subject.Subject.outputs)
+  in
+  let lines =
+    List.map
+      (fun k ->
+        let eval session =
+          let it, _ =
+            Flow.evaluate_k ?session ~subject ~library:lib ~floorplan
+              ~positions ~k ()
+          in
+          fmt_iteration it
+        in
+        let warm = eval (Some session) and cold = eval None in
+        if warm <> cold then
+          Alcotest.failf
+            "%s: incremental and cold evaluation disagree at K=%g:\n\
+            \  warm: %s\n\
+            \  cold: %s"
+            name k warm cold;
+        warm)
+      k_points
+  in
+  header :: lines
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+(* Readable diff: every divergent line with its number, expected marked
+   [-], actual marked [+]. *)
+let diff_message name expected actual =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s: per-K metrics diverged from the golden snapshot (%s).\n\
+        If the QoR change is intentional, regenerate with \
+        CALS_GOLDEN_UPDATE=1.\n"
+       name (expected_path name));
+  let n = max (List.length expected) (List.length actual) in
+  for i = 0 to n - 1 do
+    let e = List.nth_opt expected i and a = List.nth_opt actual i in
+    if e <> a then begin
+      (match e with
+      | Some e -> Buffer.add_string buf (Printf.sprintf "  line %d - %s\n" (i + 1) e)
+      | None -> Buffer.add_string buf (Printf.sprintf "  line %d - <missing>\n" (i + 1)));
+      match a with
+      | Some a -> Buffer.add_string buf (Printf.sprintf "  line %d + %s\n" (i + 1) a)
+      | None -> Buffer.add_string buf (Printf.sprintf "  line %d + <missing>\n" (i + 1))
+    end
+  done;
+  Buffer.contents buf
+
+let check_design (name, make) () =
+  let net = load_network name make in
+  let actual = actual_lines name net in
+  let path = expected_path name in
+  if update_mode then begin
+    write_lines path actual;
+    Printf.printf "updated %s\n" path
+  end
+  else begin
+    if not (Sys.file_exists path) then
+      Alcotest.failf "%s: missing golden snapshot %s (run with \
+                      CALS_GOLDEN_UPDATE=1 to create it)" name path;
+    let expected = read_lines path in
+    if expected <> actual then Alcotest.fail (diff_message name expected actual)
+  end
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "corpus",
+        List.map
+          (fun d -> Alcotest.test_case (fst d) `Quick (check_design d))
+          designs );
+    ]

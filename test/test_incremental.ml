@@ -1,0 +1,267 @@
+(* The incremental K-loop engine: warm-start re-mapping must be
+   bit-identical to cold-start mapping at every K, with a nonzero cache
+   hit rate, and the hoisted equivalence-seed derivation must keep
+   checked runs deterministic regardless of cache reuse. *)
+
+module Incremental = Cals_core.Incremental
+module Mapper = Cals_core.Mapper
+module Cover = Cals_core.Cover
+module Partition = Cals_core.Partition
+module Flow = Cals_core.Flow
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Congestion = Cals_route.Congestion
+module Check = Cals_verify.Check
+module Gen = Cals_workload.Gen
+module Rng = Cals_util.Rng
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry lib
+
+(* ---------------- Workload substrate ---------------- *)
+
+type workload = {
+  subject : Subject.t;
+  floorplan : Floorplan.t;
+  positions : Cals_util.Geom.point array;
+}
+
+let workload_of ~family ~seed ~inputs ~outputs ~size =
+  let net = Gen.of_fuzz ~family ~seed ~inputs ~outputs ~size in
+  Cals_logic.Network.sweep net;
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (max 1 (Subject.num_gates subject)) *. 5.0)
+      ~utilization:0.45 ~aspect:1.0 ~geometry
+  in
+  let positions =
+    Placement.place_subject subject ~floorplan ~rng:(Rng.create (seed + 1))
+  in
+  { subject; floorplan; positions }
+
+(* ---------------- Bit-identity oracle ---------------- *)
+
+let mapped_identical (a : Mapped.t) (b : Mapped.t) =
+  a.Mapped.pi_names = b.Mapped.pi_names
+  && a.Mapped.outputs = b.Mapped.outputs
+  && Array.length a.Mapped.instances = Array.length b.Mapped.instances
+  && Array.for_all2
+       (fun (x : Mapped.instance) (y : Mapped.instance) ->
+         x.Mapped.cell.Cals_cell.Cell.name = y.Mapped.cell.Cals_cell.Cell.name
+         && x.Mapped.fanins = y.Mapped.fanins
+         && x.Mapped.seed = y.Mapped.seed)
+       a.Mapped.instances b.Mapped.instances
+
+(* One workload, every K of the paper's ladder: the session result must be
+   bit-identical to a cold [Mapper.map] — same netlist, same area, same
+   stats — and, spot-checked, the same seeded-placement wirelength. *)
+let check_sweep_identical ?(hpwl_ks = [ 0.0; 0.001; 0.1 ]) w =
+  let session =
+    Incremental.create ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  List.iter
+    (fun k ->
+      let warm = Incremental.map session ~k in
+      let cold =
+        Mapper.map w.subject ~library:lib ~positions:w.positions
+          (Mapper.congestion_aware ~k)
+      in
+      if not (mapped_identical warm.Mapper.mapped cold.Mapper.mapped) then
+        QCheck.Test.fail_reportf "K=%g: warm netlist differs from cold" k;
+      if warm.Mapper.stats <> cold.Mapper.stats then
+        QCheck.Test.fail_reportf
+          "K=%g: stats differ (warm %d cells %.3f um2 %d matches, cold %d \
+           cells %.3f um2 %d matches)"
+          k warm.Mapper.stats.Mapper.cells warm.Mapper.stats.Mapper.cell_area
+          warm.Mapper.stats.Mapper.matches_evaluated
+          cold.Mapper.stats.Mapper.cells cold.Mapper.stats.Mapper.cell_area
+          cold.Mapper.stats.Mapper.matches_evaluated;
+      if List.mem k hpwl_ks then begin
+        let hpwl (r : Mapper.result) =
+          match
+            Placement.place_mapped_seeded r.Mapper.mapped
+              ~floorplan:w.floorplan
+          with
+          | exception Cals_place.Legalize.Overflow _ -> infinity
+          | p -> p.Placement.hpwl
+        in
+        let hw = hpwl warm and hc = hpwl cold in
+        if hw <> hc && not (hw <> hw && hc <> hc) then
+          QCheck.Test.fail_reportf "K=%g: hpwl differs (warm %f, cold %f)" k hw
+            hc
+      end)
+    Flow.default_k_schedule;
+  let stats = Incremental.stats session in
+  if stats.Incremental.hits = 0 then
+    QCheck.Test.fail_reportf "no cache hits across %d K points"
+      (List.length Flow.default_k_schedule);
+  true
+
+let prop_incremental_bit_identical =
+  QCheck.Test.make ~count:12
+    ~name:"incremental session == cold map at every K of the schedule"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 4 9) (int_range 2 6)
+        (int_range 12 40))
+    (fun (seed, inputs, outputs, size) ->
+      let family = if seed land 1 = 0 then `Pla else `Multilevel in
+      check_sweep_identical
+        (workload_of ~family ~seed ~inputs ~outputs ~size))
+
+(* Pinned regression seeds: tuples that once covered interesting shapes
+   (single-tree subjects, heavy multi-fanout duplication, BUF chains).
+   Deterministic, so they double as a fast smoke of the property above. *)
+let test_regression_seeds () =
+  List.iter
+    (fun (family, seed, inputs, outputs, size) ->
+      ignore
+        (check_sweep_identical
+           (workload_of ~family ~seed ~inputs ~outputs ~size)))
+    [
+      (`Pla, 3, 6, 3, 18);
+      (`Pla, 42, 8, 6, 36);
+      (`Multilevel, 7, 5, 4, 24);
+      (`Multilevel, 101, 9, 2, 40);
+      (`Pla, 2024, 4, 2, 12);
+    ]
+
+(* ---------------- Cache behavior ---------------- *)
+
+let test_cache_hit_rate () =
+  let w = workload_of ~family:`Pla ~seed:11 ~inputs:8 ~outputs:6 ~size:30 in
+  let session =
+    Incremental.create ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  let ks = Flow.default_k_schedule in
+  List.iter (fun k -> ignore (Incremental.map session ~k)) ks;
+  let s = Incremental.stats session in
+  Alcotest.(check int) "one map per K" (List.length ks) s.Incremental.maps;
+  Alcotest.(check int) "first sweep misses every tree" s.Incremental.trees
+    s.Incremental.misses;
+  Alcotest.(check int) "every later sweep hits every tree"
+    ((List.length ks - 1) * s.Incremental.trees)
+    s.Incremental.hits;
+  let rate = Incremental.hit_rate s in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit rate %.3f above 0.9" rate)
+    true (rate > 0.9)
+
+let test_warm_then_seal_only_hits () =
+  let w = workload_of ~family:`Multilevel ~seed:5 ~inputs:7 ~outputs:4 ~size:28 in
+  let session =
+    Incremental.create ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  Incremental.warm session;
+  Incremental.seal session;
+  let s0 = Incremental.stats session in
+  Alcotest.(check int) "warm missed every tree" s0.Incremental.trees
+    s0.Incremental.misses;
+  List.iter
+    (fun k -> ignore (Incremental.map session ~k))
+    [ 0.0; 0.001; 0.01; 1.0 ];
+  let s = Incremental.stats session in
+  Alcotest.(check int) "no post-seal misses" s0.Incremental.misses
+    s.Incremental.misses;
+  Alcotest.(check int) "sealed lookups all hit" (4 * s.Incremental.trees)
+    s.Incremental.hits
+
+let test_fingerprints_track_partition () =
+  (* Different partition strategies carve different trees; their
+     fingerprints must differ so a cache could never serve a Dagon tree
+     to a PDP session (invalidation-by-keying). *)
+  let w = workload_of ~family:`Pla ~seed:11 ~inputs:8 ~outputs:6 ~size:30 in
+  let make strategy =
+    Incremental.create
+      ~options:{ (Mapper.congestion_aware ~k:0.0) with Mapper.strategy }
+      ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  let pdp = Incremental.fingerprints (make Partition.Pdp) in
+  let dagon = Incremental.fingerprints (make Partition.Dagon) in
+  Alcotest.(check bool) "strategies partition differently" true (pdp <> dagon);
+  (* And per session the fingerprints are stable (pure in the inputs). *)
+  let pdp' = Incremental.fingerprints (make Partition.Pdp) in
+  Alcotest.(check bool) "fingerprints deterministic" true (pdp = pdp')
+
+(* ---------------- Flow integration ---------------- *)
+
+let outcome_signature (o : Flow.outcome) =
+  ( List.map
+      (fun (it : Flow.iteration) ->
+        (it.Flow.k, it.Flow.cells, it.Flow.cell_area, it.Flow.hpwl_um,
+         it.Flow.report))
+      o.Flow.iterations,
+    Option.map (fun (it : Flow.iteration) -> it.Flow.k) o.Flow.accepted )
+
+let test_flow_incremental_identical_to_cold () =
+  let w = workload_of ~family:`Pla ~seed:21 ~inputs:10 ~outputs:8 ~size:48 in
+  let run incremental =
+    Flow.run ~incremental ~subject:w.subject ~library:lib
+      ~floorplan:w.floorplan ~rng:(Rng.create 22) ()
+  in
+  let inc = run true and cold = run false in
+  Alcotest.(check bool) "same outcome signature" true
+    (outcome_signature inc = outcome_signature cold);
+  match (inc.Flow.mapped, cold.Flow.mapped) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "same shipped netlist" true (mapped_identical a b)
+  | None, None -> ()
+  | _ -> Alcotest.fail "mapped presence differs"
+
+(* Regression for the hoisted equivalence-seed derivation: the stimulus
+   seed is a pure function of K, so Full-checked runs are identical with
+   the cache on or off, and repeated evaluation of one K point never
+   drifts. Before the hoist, a reordered or cached mapping phase could
+   have moved the RNG derivation relative to other stateful work. *)
+let test_equiv_seed_pure_in_k () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed stable at K=%g" k)
+        (Flow.equiv_seed ~k) (Flow.equiv_seed ~k))
+    Flow.default_k_schedule;
+  Alcotest.(check bool) "distinct K, distinct stimulus" true
+    (Flow.equiv_seed ~k:0.001 <> Flow.equiv_seed ~k:0.01)
+
+let test_checked_runs_deterministic_across_cache_reuse () =
+  let w = workload_of ~family:`Pla ~seed:33 ~inputs:9 ~outputs:7 ~size:40 in
+  let run incremental =
+    Flow.run ~checks:Check.Full ~incremental ~subject:w.subject ~library:lib
+      ~floorplan:w.floorplan ~rng:(Rng.create 34) ()
+  in
+  let a = run true and b = run false and c = run true in
+  Alcotest.(check bool) "full-checked warm == cold" true
+    (outcome_signature a = outcome_signature b);
+  Alcotest.(check bool) "full-checked warm repeatable" true
+    (outcome_signature a = outcome_signature c)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "incremental"
+    [
+      ( "bit-identity",
+        [
+          qc prop_incremental_bit_identical;
+          Alcotest.test_case "pinned regression seeds" `Quick
+            test_regression_seeds;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit rate over a sweep" `Quick test_cache_hit_rate;
+          Alcotest.test_case "warm+seal only hits" `Quick
+            test_warm_then_seal_only_hits;
+          Alcotest.test_case "fingerprints track the partition" `Quick
+            test_fingerprints_track_partition;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "incremental flow == cold flow" `Quick
+            test_flow_incremental_identical_to_cold;
+          Alcotest.test_case "equiv seed pure in K" `Quick
+            test_equiv_seed_pure_in_k;
+          Alcotest.test_case "checked runs immune to cache reuse" `Quick
+            test_checked_runs_deterministic_across_cache_reuse;
+        ] );
+    ]

@@ -291,6 +291,28 @@ let test_network_sweep_buffers () =
   let out = Network.simulate net [| 0L |] in
   Alcotest.(check int64) "still inverts" (-1L) out.(0)
 
+let test_network_sweep_constant_fanin_terminates () =
+  (* Regression: constant propagation cofactored the consumer's SOP but
+     left the stale fanin reference, so the constant node stayed live and
+     the sweep fixpoint never converged (hit by Optimize.eliminate on
+     rare workloads — fuzz seed 159). *)
+  let net = Network.create ~pi_names:[| "a"; "b" |] in
+  let k1 = Network.add_node net [||] Sop.one in
+  let n =
+    Network.add_node net
+      [| Network.Pi 0; Network.Node k1; Network.Pi 1 |]
+      (Sop.sum (Sop.product (Sop.var 0) (Sop.var 1)) (Sop.var 2))
+  in
+  Network.set_output net "o" (Network.Node n);
+  Network.sweep net;
+  (* o = a*1 + b = a + b; the constant node is gone. *)
+  Alcotest.(check int) "constant swept" 1 (Network.num_nodes net);
+  let out = Network.simulate net [| 0L; -1L |] in
+  Alcotest.(check int64) "o = a + b" (-1L) out.(0);
+  let out = Network.simulate net [| 0L; 0L |] in
+  Alcotest.(check int64) "o low" 0L out.(0);
+  match Network.validate net with Ok () -> () | Error e -> Alcotest.fail e
+
 let test_network_cycle_detect () =
   let net = Network.create ~pi_names:[| "a" |] in
   let n0 = Network.add_node net [| Network.Pi 0 |] (Sop.var 0) in
@@ -599,6 +621,8 @@ let () =
           Alcotest.test_case "topo/live" `Quick test_network_topo_and_live;
           Alcotest.test_case "sweep dead" `Quick test_network_sweep_removes_dead;
           Alcotest.test_case "sweep buffers" `Quick test_network_sweep_buffers;
+          Alcotest.test_case "sweep constant fanin terminates" `Quick
+            test_network_sweep_constant_fanin_terminates;
           Alcotest.test_case "cycle detect" `Quick test_network_cycle_detect;
         ] );
       ( "optimize",

@@ -609,6 +609,64 @@ let test_checked_parallel_pdc =
     (fun () -> Cals_workload.Presets.pdc_like ~scale:0.04 ~seed:11 ())
     13 0.6
 
+(* Three-way differential under Full checks: cold sequential re-mapping,
+   the incremental session, and 4-domain speculative evaluation (which
+   warms and seals the shared match cache) must agree on every recorded
+   figure and on the shipped netlist instance for instance. *)
+let test_checked_three_way_differential () =
+  let net = Cals_workload.Presets.spla_like ~scale:0.04 ~seed:19 () in
+  Cals_logic.Network.sweep net;
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.6 ~aspect:1.0 ~geometry
+  in
+  let cold =
+    Flow.run ~checks:Check.Full ~incremental:false ~subject ~library:lib
+      ~floorplan ~rng:(Rng.create 20) ()
+  in
+  let warm =
+    Flow.run ~checks:Check.Full ~subject ~library:lib ~floorplan
+      ~rng:(Rng.create 20) ()
+  in
+  let par =
+    Flow.run_parallel ~jobs:4 ~checks:Check.Full ~subject ~library:lib
+      ~floorplan ~rng:(Rng.create 20) ()
+  in
+  let signature (o : Flow.outcome) =
+    List.map
+      (fun (it : Flow.iteration) ->
+        (it.Flow.k, it.Flow.cells, it.Flow.cell_area, it.Flow.hpwl_um,
+         it.Flow.report))
+      o.Flow.iterations
+  in
+  let check_pair label a b =
+    Alcotest.(check bool) (label ^ ": same iteration records") true
+      (signature a = signature b);
+    Alcotest.(check (option (float 0.0)))
+      (label ^ ": same accepted K")
+      (Option.map (fun it -> it.Flow.k) a.Flow.accepted)
+      (Option.map (fun it -> it.Flow.k) b.Flow.accepted);
+    match (a.Flow.mapped, b.Flow.mapped) with
+    | Some x, Some y ->
+      Alcotest.(check bool) (label ^ ": same shipped netlist") true
+        (x.Mapped.pi_names = y.Mapped.pi_names
+        && x.Mapped.outputs = y.Mapped.outputs
+        && Array.length x.Mapped.instances = Array.length y.Mapped.instances
+        && Array.for_all2
+             (fun (i : Mapped.instance) (j : Mapped.instance) ->
+               i.Mapped.cell.Cals_cell.Cell.name
+               = j.Mapped.cell.Cals_cell.Cell.name
+               && i.Mapped.fanins = j.Mapped.fanins
+               && i.Mapped.seed = j.Mapped.seed)
+             x.Mapped.instances y.Mapped.instances)
+    | None, None -> ()
+    | _ -> Alcotest.failf "%s: mapped presence differs" label
+  in
+  check_pair "cold vs incremental" cold warm;
+  check_pair "cold vs parallel" cold par
+
 (* ---------------- Check levels ---------------- *)
 
 let test_check_level_parsing () =
@@ -686,6 +744,8 @@ let () =
             test_flow_full_checks_clean;
           Alcotest.test_case "checked parallel spla" `Quick
             test_checked_parallel_spla;
+          Alcotest.test_case "checked three-way differential" `Quick
+            test_checked_three_way_differential;
           Alcotest.test_case "checked parallel pdc" `Quick
             test_checked_parallel_pdc;
           Alcotest.test_case "level parsing" `Quick test_check_level_parsing;
