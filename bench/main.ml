@@ -27,6 +27,9 @@ module Probe = Cals_telemetry.Probe
 module Ring = Cals_telemetry.Ring
 module Metrics = Cals_telemetry.Metrics
 module Export = Cals_telemetry.Export
+module Fuzz = Cals_verify.Fuzz
+module Proto = Cals_serve.Proto
+module Scheduler = Cals_serve.Scheduler
 
 let library = Cals_cell.Stdlib_018.library
 let geometry = Cals_cell.Library.geometry library
@@ -691,6 +694,44 @@ let micro_benchmarks () =
       (Flow.evaluate_k ~router_config ~checks:level ~subject:c.subject
          ~library ~floorplan:c.floorplan ~positions:c.positions ~k:0.001 ())
   in
+  (* Service throughput: drain a batch of small repeated-design jobs
+     through the scheduler — queue + design cache + artifact overhead on
+     top of the raw K evaluations. *)
+  let serve_out =
+    Filename.concat (Filename.get_temp_dir_name ()) "cals-bench-serve"
+  in
+  let serve_work () =
+    let config =
+      {
+        Scheduler.default_config with
+        Scheduler.jobs = 2;
+        out_dir = serve_out;
+        backoff_s = 0.001;
+      }
+    in
+    let scheduler = Scheduler.create config in
+    for i = 0 to 7 do
+      Scheduler.submit scheduler
+        {
+          Proto.id = Printf.sprintf "bench-%d" i;
+          input =
+            Proto.Workload
+              {
+                Fuzz.seed = 3 + (i mod 2);
+                family = Fuzz.Pla;
+                inputs = 6;
+                outputs = 3;
+                size = 12;
+              };
+          k_schedule = Some [ 0.0; 0.001 ];
+          checks = Check.Off;
+          utilization = 0.55;
+          optimize = false;
+          deadline_s = None;
+        }
+    done;
+    ignore (Scheduler.drain scheduler ())
+  in
   let tests =
     [
       Test.make ~name:"table1:sis-optimize" (Staged.stage table1_work);
@@ -704,6 +745,7 @@ let micro_benchmarks () =
       Test.make ~name:"flow:k-point-checks-full" (Staged.stage (checks_work Check.Full));
       Test.make ~name:"flow:k-sweep-cold" (Staged.stage sweep_cold);
       Test.make ~name:"flow:k-sweep-incremental" (Staged.stage sweep_incremental);
+      Test.make ~name:"serve:drain-throughput" (Staged.stage serve_work);
     ]
   in
   let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in

@@ -24,6 +24,7 @@ module Check = Cals_verify.Check
 module Fuzz = Cals_verify.Fuzz
 module Probe = Cals_telemetry.Probe
 module Export = Cals_telemetry.Export
+module Scheduler = Cals_serve.Scheduler
 
 (* Map -v occurrences to a Logs level: 0 warnings, 1 info, 2+ debug. *)
 let setup_logs verbosity =
@@ -222,6 +223,62 @@ let run_fuzz verbosity iterations seed out replay level jobs =
         out out;
       1)
 
+(* ------------------------- serve ------------------------- *)
+
+let run_serve verbosity spool from_stdin jobs out deadline max_attempts
+    backoff high_watermark overload_watermark degraded_k_points watch tick
+    trace metrics =
+  setup_logs verbosity;
+  if trace <> None || metrics <> None then Probe.enable ();
+  if spool = None && not from_stdin then begin
+    prerr_endline
+      "serve: nothing to do — give a job source (--spool DIR and/or --stdin)";
+    2
+  end
+  else begin
+    let config =
+      {
+        Scheduler.jobs;
+        out_dir = out;
+        default_deadline_s = deadline;
+        max_attempts;
+        backoff_s = backoff;
+        high_watermark;
+        overload_watermark;
+        degraded_k_points;
+        watch;
+        tick_s = tick;
+      }
+    in
+    let scheduler = Scheduler.create config in
+    if from_stdin then begin
+      try
+        while true do
+          let line = input_line stdin in
+          ignore (Scheduler.submit_line scheduler ~source:"stdin" line)
+        done
+      with End_of_file -> ()
+    end;
+    let s = Scheduler.drain scheduler ?spool () in
+    Printf.printf
+      "serve: %d submitted, %d completed, %d quarantined, %d retries, %d \
+       timeouts, %d parse errors in %.2fs\n"
+      s.Scheduler.submitted s.Scheduler.completed s.Scheduler.quarantined
+      s.Scheduler.retries s.Scheduler.timeouts s.Scheduler.parse_errors
+      s.Scheduler.wall_s;
+    (match trace with
+    | Some path ->
+      Export.write_chrome_trace path;
+      Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n" path
+    | None -> ());
+    (match metrics with
+    | Some ("prometheus" | "prom") -> print_string (Export.prometheus ())
+    | Some _ -> print_string (Export.summary ())
+    | None -> ());
+    if s.Scheduler.quarantined = 0 && s.Scheduler.parse_errors = 0 then 0
+    else 1
+  end
+
 (* ------------------------- lib ------------------------- *)
 
 let run_lib output =
@@ -413,6 +470,103 @@ let fuzz_cmd =
       const run_fuzz $ verbosity_arg $ fuzz_iterations_arg $ fuzz_seed_arg
       $ fuzz_out_arg $ fuzz_replay_arg $ fuzz_level_arg $ jobs_arg)
 
+let serve_spool_arg =
+  let doc =
+    "Ingest job files ($(b,*.json), one JSON job per line) from $(docv), \
+     deleting each file once read."
+  in
+  Arg.(value & opt (some string) None & info [ "spool" ] ~docv:"DIR" ~doc)
+
+let serve_stdin_arg =
+  let doc = "Read JSON-lines jobs from standard input until EOF." in
+  Arg.(value & flag & info [ "stdin" ] ~doc)
+
+let serve_jobs_arg =
+  let doc = "Worker domains the job rounds are spread over." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let serve_out_arg =
+  let doc =
+    "Artifact root: one directory per job (job.json, metrics.json, \
+     mapped.v), plus $(b,quarantine/) and $(b,summary.json)."
+  in
+  Arg.(value & opt string "cals-serve-out" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let serve_deadline_arg =
+  let doc =
+    "Default per-job deadline in seconds (jobs may override with their own \
+     $(b,deadline_s) field). Unset means unlimited."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+
+let serve_attempts_arg =
+  let doc = "Runs per job before it is quarantined." in
+  Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+
+let serve_backoff_arg =
+  let doc = "First retry delay in seconds (doubles per failure)." in
+  Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"S" ~doc)
+
+let serve_high_arg =
+  let doc = "Queue depth at which $(b,full) checks degrade to $(b,cheap)." in
+  Arg.(value & opt int 8 & info [ "high-watermark" ] ~docv:"N" ~doc)
+
+let serve_overload_arg =
+  let doc =
+    "Queue depth at which checks turn off and K schedules are capped."
+  in
+  Arg.(value & opt int 16 & info [ "overload-watermark" ] ~docv:"N" ~doc)
+
+let serve_degraded_k_arg =
+  let doc = "Maximum K-schedule points per job under overload." in
+  Arg.(value & opt int 6 & info [ "degraded-k-points" ] ~docv:"N" ~doc)
+
+let serve_watch_arg =
+  let doc =
+    "Keep polling the spool after the queue drains (daemon mode) instead of \
+     exiting."
+  in
+  Arg.(value & flag & info [ "watch" ] ~doc)
+
+let serve_tick_arg =
+  let doc = "Idle sleep / spool poll interval in seconds." in
+  Arg.(value & opt float 0.1 & info [ "tick" ] ~docv:"S" ~doc)
+
+let serve_cmd =
+  let doc = "run the batch mapping service (spool or stdin jobs)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Accepts mapping jobs as JSON lines — one object per line, either \
+         from $(b,--spool) files or $(b,--stdin) — and drains them over a \
+         shared pool of worker domains. Each job names its circuit (a \
+         $(b,blif) path, a $(b,preset), or a synthetic $(b,workload)) plus \
+         optional $(b,k_schedule), $(b,checks), $(b,utilization), \
+         $(b,optimize) and $(b,deadline_s) fields.";
+      `P
+        "Jobs that crash, time out, or fail verification are retried with \
+         exponential backoff and then quarantined under \
+         $(b,OUT/quarantine/) with a respoolable job.json — and, for \
+         workload jobs, a reproducer that $(b,cals fuzz --replay) accepts. \
+         Under queue pressure the service degrades gracefully: full checks \
+         shed to cheap at the high watermark; past the overload watermark \
+         checks turn off and K schedules are capped.";
+      `P
+        "Repeated designs share one warmed incremental mapping session, so \
+         a batch of jobs over the same circuit pays for decomposition, \
+         placement and pattern matching once (see the per-job \
+         metrics.json cache hit rate).";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run_serve $ verbosity_arg $ serve_spool_arg $ serve_stdin_arg
+      $ serve_jobs_arg $ serve_out_arg $ serve_deadline_arg
+      $ serve_attempts_arg $ serve_backoff_arg $ serve_high_arg
+      $ serve_overload_arg $ serve_degraded_k_arg $ serve_watch_arg
+      $ serve_tick_arg $ trace_arg $ metrics_arg)
+
 let sta_cmd =
   let doc = "map, place, route and report static timing" in
   Cmd.v (Cmd.info "sta" ~doc)
@@ -427,6 +581,6 @@ let lib_cmd =
 let main_cmd =
   let doc = "congestion-aware logic synthesis (DATE 2002 reproduction)" in
   Cmd.group (Cmd.info "cals" ~doc)
-    [ stats_cmd; map_cmd; flow_cmd; sta_cmd; lib_cmd; fuzz_cmd ]
+    [ stats_cmd; map_cmd; flow_cmd; sta_cmd; lib_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,8 +7,10 @@
 
     where [AREA] is the cell area plus the area cost of the fanin covers
     (Eq. 1), [WIRE1] sums the distances between the match's center of mass
-    and its fanins' centers of mass (Eq. 2), and [WIRE2] adds the fanins'
-    memoized wire costs (Eq. 3). Once a match is selected, the covered base
+    and its fanins' centers of mass (Eq. 2), [WIRE2] adds the fanins'
+    memoized wire costs (Eq. 3), and the total wire cost is their sum
+    [WIRE(m,v) = WIRE1(m,v) + WIRE2(m,v)] (Eq. 4). Once a match is
+    selected, the covered base
     gates' positions collapse to the center of mass (the incremental
     companion-placement update). With [K = 0] this is classic DAGON
     min-area covering.
@@ -117,6 +119,9 @@ val solution : t -> int -> solution option
 (** The chosen match at a live gate ([None] for PIs / dead gates). *)
 
 val matches_evaluated : t -> int
+(** Raw pattern bindings enumerated during the run (the paper's Table 2
+    "matches" column) — identical with and without a warm match cache,
+    see {!node_matches.enumerated}. *)
 
 type extraction = {
   mapped : Cals_netlist.Mapped.t;

@@ -72,9 +72,11 @@ let check_equiv ~checks ~subject ~seed ~k mapped =
     (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped)
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
-    ?session ~subject ~library ~floorplan ~positions ~k () =
+    ?session ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan
+    ~positions ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
+  Cals_util.Cancel.check cancel;
   Metrics.incr m_k_evaluated;
   let seed = equiv_seed ~k in
   let verify = checks <> Check.Off in
@@ -89,6 +91,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
       Mapper.map ~verify subject ~library ~positions options
   in
   let mapped = result.Mapper.mapped in
+  Cals_util.Cancel.check cancel;
   if checks = Check.Full then check_equiv ~checks ~subject ~seed ~k mapped;
   let cell_area = Mapped.total_area mapped in
   let utilization = Floorplan.utilization floorplan ~cell_area in
@@ -108,9 +111,11 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
     if verify then
       Check.record ~stage:"place"
         (Invariant.check_placement ~floorplan mapped placement);
+    Cals_util.Cancel.check cancel;
     let wire = Cals_cell.Library.wire library in
     let routing =
-      Router.route_mapped ?config:router_config mapped ~floorplan ~wire ~placement
+      Router.route_mapped ?config:router_config ~cancel mapped ~floorplan ~wire
+        ~placement
     in
     if verify then
       Check.record ~stage:"route"
@@ -161,8 +166,8 @@ let make_session ~incremental ?strategy ~subject ~library ~positions () =
          ~subject ~library ~positions ())
 
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true) ~subject ~library ~floorplan
-    ~rng () =
+    ?(checks = Check.Off) ?(incremental = true)
+    ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
     Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
@@ -179,8 +184,8 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
         placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
-        evaluate_k ?router_config ?strategy ~checks ?session ~subject ~library
-          ~floorplan ~positions ~k ()
+        evaluate_k ?router_config ?strategy ~checks ?session ~cancel ~subject
+          ~library ~floorplan ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
         log_accepted iteration;
@@ -209,11 +214,12 @@ let rec take_chunk n = function
   | rest -> ([], rest)
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true) ~jobs ~subject ~library
-    ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(incremental = true)
+    ?(cancel = Cals_util.Cancel.never) ~jobs ~subject ~library ~floorplan ~rng
+    () =
   if jobs <= 1 then
-    run ~k_schedule ?router_config ?strategy ~checks ~incremental ~subject
-      ~library ~floorplan ~rng ()
+    run ~k_schedule ?router_config ?strategy ~checks ~incremental ~cancel
+      ~subject ~library ~floorplan ~rng ()
   else begin
     Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
       "flow.run_parallel"
@@ -256,8 +262,8 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
-              evaluate_k ?router_config ?strategy ~checks ?session ~subject
-                ~library ~floorplan ~positions ~k ())
+              evaluate_k ?router_config ?strategy ~checks ?session ~cancel
+                ~subject ~library ~floorplan ~positions ~k ())
             (Array.of_list chunk)
         in
         let n = Array.length results in

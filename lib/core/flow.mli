@@ -31,6 +31,7 @@ val run :
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?incremental:bool ->
+  ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -53,7 +54,14 @@ val run :
     are computed once and only the cost-combination DP re-runs per K
     point. The outcome is bit-identical to a cold sweep — set
     [incremental:false] to force cold re-mapping at every K (the escape
-    hatch behind [cals flow --incremental=off]). *)
+    hatch behind [cals flow --incremental=off]).
+
+    [cancel] (default {!Cals_util.Cancel.never}) makes the loop
+    cooperatively cancellable: the token is checked before every K point
+    and forwarded into {!evaluate_k} (which also hands it to the
+    router's negotiation loop). A fired token unwinds with
+    {!Cals_util.Cancel.Cancelled} — this is how the batch service
+    ([cals serve]) enforces per-job deadlines. *)
 
 val run_parallel :
   ?k_schedule:float list ->
@@ -61,6 +69,7 @@ val run_parallel :
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?incremental:bool ->
+  ?cancel:Cals_util.Cancel.t ->
   jobs:int ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -79,13 +88,20 @@ val run_parallel :
     With [incremental] (the default) the match cache is populated by a
     {e sequential} match phase (span ["flow.match_phase"]) and sealed
     before the domains start, so the workers share it read-only — see
-    {!Incremental.seal}. *)
+    {!Incremental.seal}.
+
+    A fired [cancel] token is observed by every worker domain at its
+    next check point; the first {!Cals_util.Cancel.Cancelled} to
+    complete is re-raised in the caller after all domains stop claiming
+    work (see {!Cals_util.Pool.map_array}), so cancellation still shuts
+    the chunk down cleanly. *)
 
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?session:Incremental.session ->
+  ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -100,7 +116,13 @@ val evaluate_k :
     the bench tables are built from. With [session] the mapping phase is
     served by {!Incremental.map} (whose strategy overrides [strategy]);
     the session must have been created from the same [subject],
-    [positions] and library. *)
+    [positions] and library.
+
+    [cancel] is checked on entry, between the map / place / route stages
+    and inside the router; a fired token raises
+    {!Cals_util.Cancel.Cancelled}. Cancellation is cooperative — an
+    individual stage (one covering DP, one maze search) always runs to
+    completion before the token is seen. *)
 
 val equiv_seed : k:float -> int
 (** Seed of the per-K equivalence stimulus, derived from K alone and from

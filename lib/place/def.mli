@@ -10,6 +10,8 @@ val print :
   floorplan:Floorplan.t ->
   placement:Placement.mapped_placement ->
   string
+(** The DEF text for a placed netlist. [design] (default ["mapped"])
+    names the DESIGN statement. *)
 
 val write_file :
   ?design:string ->
@@ -18,3 +20,4 @@ val write_file :
   floorplan:Floorplan.t ->
   placement:Placement.mapped_placement ->
   unit
+(** {!print} to a file (truncating). *)

@@ -32,6 +32,8 @@ val for_area :
     [aspect] = width / height. *)
 
 val core_area : t -> float
+(** [die_width *. die_height], µm². *)
+
 val row_y : t -> int -> float
 (** Center y of row [i]. *)
 
@@ -48,4 +50,7 @@ val pad_positions : t -> names:string array -> Cals_util.Geom.point array
     clockwise from the lower-left corner, evenly spaced. *)
 
 val contains : t -> Cals_util.Geom.point -> bool
+(** Whether a point lies on the die outline (borders included). *)
+
 val describe : t -> string
+(** One line for logs: dimensions, core area, rows and sites. *)

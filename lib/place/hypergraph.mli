@@ -11,7 +11,10 @@ type t = {
 }
 
 val num_nodes : t -> int
+(** Movable and fixed nodes together. *)
+
 val num_movable : t -> int
+(** Nodes without a fixed pad position. *)
 
 val of_subject :
   Cals_netlist.Subject.t ->

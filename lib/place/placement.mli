@@ -9,10 +9,10 @@
 
 type mapped_placement = {
   cell_pos : Cals_util.Geom.point array;  (** Per instance. *)
-  pi_pos : Cals_util.Geom.point array;
-  po_pos : Cals_util.Geom.point array;
-  hpwl : float;
-  row_fill : int array;
+  pi_pos : Cals_util.Geom.point array;  (** Pad per primary input. *)
+  po_pos : Cals_util.Geom.point array;  (** Pad per primary output. *)
+  hpwl : float;  (** Half-perimeter wirelength, µm. *)
+  row_fill : int array;  (** Occupied sites per row. *)
 }
 
 val place_subject :

@@ -14,6 +14,9 @@ val hot_threshold : float
 (** Utilization above which a gcell counts as congested (0.95). *)
 
 val of_result : Router.result -> report
+(** Summarize a routing run: violation count and total overflow from the
+    grid's capacitated edges, the worst edge utilization, the hot-gcell
+    fraction, and the total routed wirelength. *)
 
 val acceptable : report -> bool
 (** The Figure-3 predicate: fully routable (zero violations). *)
@@ -22,3 +25,5 @@ val ascii_map : Router.result -> string
 (** Heat map of gcell utilization, rows printed top-down. *)
 
 val summary : report -> string
+(** One line for logs and the CLI, e.g.
+    [violations=0 overflow=0.0 max_util=0.47 hot_gcells=0.0% wirelength=2722um]. *)

@@ -46,18 +46,38 @@ val gcell_of_point : t -> Cals_util.Geom.point -> int * int
 (** Clamped to the grid. *)
 
 val center_of_gcell : t -> int * int -> Cals_util.Geom.point
+(** Center of the gcell, in µm die coordinates. *)
+
 val capacity : t -> edge -> float
+(** Routing tracks the edge offers (fixed at {!create}). *)
+
 val usage : t -> edge -> float
+(** Tracks currently claimed by routed segments. *)
+
 val history : t -> edge -> float
+(** Accumulated negotiation-history penalty (PathFinder-style). *)
+
 val add_usage : t -> edge -> float -> unit
+(** Claim (or with a negative delta, release) tracks on the edge. *)
+
 val add_history : t -> edge -> float -> unit
+(** Bump the edge's history penalty after an overflowed iteration. *)
+
 val overflow : t -> edge -> float
 (** [max 0 (usage - capacity)]. *)
 
 val total_overflow : t -> float
+(** Sum of {!overflow} over every edge. *)
+
 val overflowed_edges : t -> edge list
+(** Edges with positive {!overflow}, horizontal first, row-major. *)
+
 val max_utilization : t -> float
+(** Largest [usage / capacity] over every edge with capacity. *)
+
 val reset_usage : t -> unit
+(** Zero every edge's usage (history is kept — the negotiation loop's
+    rip-up-all-and-reroute step). *)
 
 val mark_overflowed : t -> edge -> unit
 (** Set the edge's bit in the overflow-mark bitfield. The marks are a
@@ -69,8 +89,10 @@ val is_overflowed : t -> edge -> bool
     {!clear_overflow_marks}. *)
 
 val clear_overflow_marks : t -> unit
+(** Zero the scratch bitfields for the next negotiation iteration. *)
 
 val congestion_map : t -> Cals_util.Grid2d.t
 (** Per-gcell maximum of the utilizations of its incident edges. *)
 
 val iter_edges : t -> (edge -> unit) -> unit
+(** Every edge, horizontal first, row-major. *)

@@ -279,7 +279,8 @@ let maze_route cfg grid scratch (src, dst) =
 
 let path_uses_overflow grid path = List.exists (Rgrid.is_overflowed grid) path
 
-let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
+let route_pins ?(config = default_config) ?density
+    ?(cancel = Cals_util.Cancel.never) ~floorplan ~wire nets =
   Span.with_ ~cat:"route"
     ~meta:(Printf.sprintf "%d nets" (Array.length nets))
     "route.route_pins"
@@ -322,14 +323,17 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
       in
       compare (len b) (len a))
     order;
+  Cals_util.Cancel.check cancel;
   Span.with_ ~cat:"route" "route.pattern" (fun () ->
       Array.iter (fun i -> pattern_route config grid segments.(i)) order);
   (* Negotiated rip-up and reroute. One scratch serves every maze call on
      this grid; generation stamps make reuse free. *)
   let scratch = create_scratch (grid.Rgrid.cols * grid.Rgrid.rows) in
   let negotiate_token = Span.enter ~cat:"route" "route.negotiate" in
+  Fun.protect ~finally:(fun () -> Span.exit negotiate_token) @@ fun () ->
   let iteration = ref 0 in
   while !iteration < config.reroute_iterations && Rgrid.total_overflow grid > 0.0 do
+    Cals_util.Cancel.check cancel;
     incr iteration;
     Metrics.incr m_ripup_iterations;
     Metrics.observe m_overflow_per_iteration (Rgrid.total_overflow grid);
@@ -342,6 +346,7 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
     Array.iter
       (fun seg ->
         if seg.path <> [] && path_uses_overflow grid seg.path then begin
+          Cals_util.Cancel.check cancel;
           rip_up grid seg.path;
           Metrics.incr m_rerouted;
           match maze_route config grid scratch seg.ends with
@@ -354,7 +359,6 @@ let route_pins ?(config = default_config) ?density ~floorplan ~wire nets =
         end)
       segments
   done;
-  Span.exit negotiate_token;
   let net_length = Array.make num_nets 0.0 in
   Array.iter
     (fun seg ->
@@ -411,7 +415,7 @@ let density_map ?(config = default_config) mapped ~floorplan
   Cals_util.Grid2d.map_inplace (fun a -> a /. (gcell_um *. gcell_um)) g;
   g
 
-let route_mapped ?config mapped ~floorplan ~wire ~placement =
+let route_mapped ?config ?cancel mapped ~floorplan ~wire ~placement =
   let density = density_map ?config mapped ~floorplan ~placement in
   let nets = Mapped.nets mapped in
   let pos_of_signal = function
@@ -431,4 +435,4 @@ let route_mapped ?config mapped ~floorplan ~wire ~placement =
           pos_of_signal net.Mapped.driver :: List.map sink_pos sinks)
       nets
   in
-  route_pins ?config ~density ~floorplan ~wire pin_clusters
+  route_pins ?config ~density ?cancel ~floorplan ~wire pin_clusters

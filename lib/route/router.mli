@@ -17,6 +17,8 @@ type config = {
 }
 
 val default_config : config
+(** 3 layers, 2-row gcells, MST topology, 16 negotiation iterations,
+    overflow penalty 4.0, history increment 1.0. *)
 
 type route = {
   net : int;  (** Index into the input net array. *)
@@ -44,16 +46,25 @@ type result = {
 val route_pins :
   ?config:config ->
   ?density:Cals_util.Grid2d.t ->
+  ?cancel:Cals_util.Cancel.t ->
   floorplan:Cals_place.Floorplan.t ->
   wire:Cals_cell.Library.wire_model ->
   Cals_util.Geom.point list array ->
   result
 (** Route one net per array slot (list of pin locations; nets with fewer
     than two distinct gcells cost no routing). [density] feeds the M1
-    blockage model (see {!Rgrid.create}). *)
+    blockage model (see {!Rgrid.create}).
+
+    [cancel] (default {!Cals_util.Cancel.never}) is checked before the
+    pattern phase, at the top of every negotiation iteration and before
+    every ripped-up segment's maze search; a fired token unwinds with
+    {!Cals_util.Cancel.Cancelled}, leaving only the result unbuilt (the
+    grid is scratch state owned by this call). This is the router half
+    of the deadline propagation the batch service relies on. *)
 
 val route_mapped :
   ?config:config ->
+  ?cancel:Cals_util.Cancel.t ->
   Cals_netlist.Mapped.t ->
   floorplan:Cals_place.Floorplan.t ->
   wire:Cals_cell.Library.wire_model ->
@@ -61,7 +72,8 @@ val route_mapped :
   result
 (** Nets in {!Cals_netlist.Mapped.nets} order, so [net_length_um] can be
     indexed by {!Cals_netlist.Mapped.signal_index}. The placement's cell
-    density is folded into the M1 blockage model automatically. *)
+    density is folded into the M1 blockage model automatically.
+    [cancel] is forwarded to {!route_pins}. *)
 
 val density_map :
   ?config:config ->

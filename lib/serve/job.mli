@@ -1,0 +1,39 @@
+(** One job's lifecycle inside the service.
+
+    A job is a {!Proto.spec} plus the mutable state the scheduler needs:
+    how many times it ran, when it may run again (retry backoff), and
+    how it ended. Jobs are owned by exactly one party at a time — the
+    {!Queue} while waiting, one worker domain while running — so the
+    mutable fields need no locking of their own. *)
+
+(** Why a run of the job did not complete. *)
+type fault =
+  | Timed_out of float  (** Deadline that expired, in seconds. *)
+  | Violation of { stage : string; detail : string }
+      (** The verification layer rejected the result
+          ({!Cals_verify.Check.Violation}). *)
+  | Crashed of string  (** Any other exception, printed. *)
+
+type status =
+  | Pending  (** Waiting in the queue (fresh or awaiting retry). *)
+  | Running
+  | Done  (** Completed; artifacts written. *)
+  | Quarantined of fault  (** Gave up after the retry budget. *)
+
+type t = {
+  spec : Proto.spec;
+  submitted_at : float;  (** [Unix.gettimeofday] at submission. *)
+  mutable status : status;
+  mutable attempts : int;  (** Runs started so far. *)
+  mutable not_before : float;  (** Backoff gate; 0. = run anytime. *)
+  mutable last_fault : fault option;  (** Most recent failed run. *)
+}
+
+val create : now:float -> Proto.spec -> t
+
+val fault_to_string : fault -> string
+(** One line, e.g. ["timeout after 2.50s"] or
+    ["violation at route: ..."]. *)
+
+val ready : t -> now:float -> bool
+(** Pending and past its backoff gate. *)

@@ -1,0 +1,635 @@
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Congestion = Cals_route.Congestion
+module Flow = Cals_core.Flow
+module Incremental = Cals_core.Incremental
+module Check = Cals_verify.Check
+module Equiv = Cals_verify.Equiv
+module Fuzz = Cals_verify.Fuzz
+module Metrics = Cals_telemetry.Metrics
+module Span = Cals_telemetry.Span
+module Cancel = Cals_util.Cancel
+module Pool = Cals_util.Pool
+
+let log_src = Logs.Src.create "cals.serve" ~doc:"Batch mapping service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let library = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry library
+
+let m_submitted =
+  Metrics.counter ~help:"Jobs admitted to the service queue"
+    "serve_jobs_submitted"
+
+let m_completed =
+  Metrics.counter ~help:"Jobs that completed and wrote artifacts"
+    "serve_jobs_completed"
+
+let m_retried =
+  Metrics.counter ~help:"Faulted runs sent back for retry" "serve_jobs_retried"
+
+let m_quarantined =
+  Metrics.counter ~help:"Jobs quarantined after the retry budget"
+    "serve_jobs_quarantined"
+
+let m_timeouts =
+  Metrics.counter ~help:"Runs cancelled by their deadline" "serve_job_timeouts"
+
+let m_degraded =
+  Metrics.counter ~help:"Runs dispatched under a degradation level > 0"
+    "serve_jobs_degraded"
+
+let m_queue_depth = Metrics.gauge ~help:"Queued jobs" "serve_queue_depth"
+
+let m_degradation =
+  Metrics.gauge ~help:"Degradation ladder step (0/1/2)"
+    "serve_degradation_level"
+
+let m_job_seconds =
+  Metrics.histogram ~help:"Wall seconds per completed job"
+    ~buckets:[| 0.01; 0.05; 0.25; 1.0; 5.0; 30.0 |]
+    "serve_job_seconds"
+
+type config = {
+  jobs : int;
+  out_dir : string;
+  default_deadline_s : float option;
+  max_attempts : int;
+  backoff_s : float;
+  high_watermark : int;
+  overload_watermark : int;
+  degraded_k_points : int;
+  watch : bool;
+  tick_s : float;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    out_dir = "cals-serve-out";
+    default_deadline_s = None;
+    max_attempts = 3;
+    backoff_s = 0.05;
+    high_watermark = 8;
+    overload_watermark = 16;
+    degraded_k_points = 6;
+    watch = false;
+    tick_s = 0.1;
+  }
+
+type summary = {
+  submitted : int;
+  completed : int;
+  quarantined : int;
+  retries : int;
+  timeouts : int;
+  parse_errors : int;
+  wall_s : float;
+}
+
+(* Everything about one distinct circuit that K, checks and deadlines do
+   not change — shared by every job with the same design key. The session
+   is warmed and sealed at construction so worker domains may use it
+   concurrently (see Incremental's domain-safety protocol). *)
+type design = {
+  subject : Subject.t;
+  floorplan : Floorplan.t;
+  positions : Cals_util.Geom.point array;
+  session : Incremental.session;
+}
+
+type t = {
+  config : config;
+  queue : Queue.t;
+  designs : (string, design) Hashtbl.t;
+  designs_mutex : Mutex.t;
+  mutable auto_id : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable quarantined : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable parse_errors : int;
+  mutable drained : bool;
+}
+
+let create config =
+  {
+    config;
+    queue =
+      Queue.create ~max_attempts:config.max_attempts
+        ~backoff_s:config.backoff_s ();
+    designs = Hashtbl.create 16;
+    designs_mutex = Mutex.create ();
+    auto_id = 0;
+    submitted = 0;
+    completed = 0;
+    quarantined = 0;
+    retries = 0;
+    timeouts = 0;
+    parse_errors = 0;
+    drained = false;
+  }
+
+(* ------------------------- filesystem helpers ------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize name =
+  let safe = function
+    | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.') as c -> c
+    | _ -> '_'
+  in
+  let s = String.map safe name in
+  if s = "" then "_" else s
+
+let write_file path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let job_dir t (job : Job.t) =
+  Filename.concat t.config.out_dir (sanitize job.Job.spec.Proto.id)
+
+let quarantine_dir t name =
+  Filename.concat (Filename.concat t.config.out_dir "quarantine") (sanitize name)
+
+(* ------------------------- admission ------------------------- *)
+
+let fresh_id t =
+  t.auto_id <- t.auto_id + 1;
+  Printf.sprintf "job-%04d" t.auto_id
+
+let submit t (spec : Proto.spec) =
+  let spec =
+    if spec.Proto.id = "" then { spec with Proto.id = fresh_id t } else spec
+  in
+  t.submitted <- t.submitted + 1;
+  Metrics.incr m_submitted;
+  Log.debug (fun m ->
+      m "admitted %s (%s)" spec.Proto.id (Proto.design_key spec));
+  Queue.push t.queue (Job.create ~now:(Unix.gettimeofday ()) spec)
+
+let submit_line t ~source line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then Ok ()
+  else
+    match Proto.spec_of_string ~default_id:"" trimmed with
+    | Ok spec ->
+      submit t spec;
+      Ok ()
+    | Error err ->
+      t.parse_errors <- t.parse_errors + 1;
+      let dir = quarantine_dir t source in
+      let path =
+        Filename.concat dir (Printf.sprintf "parse-%03d.txt" t.parse_errors)
+      in
+      write_file path
+        (Printf.sprintf "source: %s\nerror: %s\nline: %s\n" source err trimmed);
+      Log.warn (fun m -> m "rejected job line from %s: %s" source err);
+      Error err
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load_spool t ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort String.compare
+    in
+    let before = t.submitted in
+    List.iter
+      (fun file ->
+        let path = Filename.concat dir file in
+        match read_lines path with
+        | lines ->
+          (* Consume the file first so watch mode never re-ingests it. *)
+          (try Sys.remove path with Sys_error _ -> ());
+          List.iter (fun l -> ignore (submit_line t ~source:file l)) lines
+        | exception Sys_error err ->
+          Log.warn (fun m -> m "skipping spool file %s: %s" path err))
+      files;
+    t.submitted - before
+  end
+
+(* ------------------------- design cache ------------------------- *)
+
+let network_of_input = function
+  | Proto.Blif path ->
+    if not (Sys.file_exists path) then
+      failwith (Printf.sprintf "input file %s does not exist" path)
+    else if Filename.check_suffix path ".pla" then Cals_logic.Pla.read_file path
+    else Cals_logic.Blif.read_file path
+  | Proto.Preset { name; scale; seed } -> (
+    match name with
+    | "spla" -> Cals_workload.Presets.spla_like ~scale ~seed ()
+    | "pdc" -> Cals_workload.Presets.pdc_like ~scale ~seed ()
+    | "too_large" -> Cals_workload.Presets.too_large_like ~scale ~seed ()
+    | other -> failwith (Printf.sprintf "unknown preset %s" other))
+  | Proto.Workload p ->
+    let family =
+      match p.Fuzz.family with
+      | Fuzz.Pla -> `Pla
+      | Fuzz.Multilevel -> `Multilevel
+    in
+    Cals_workload.Gen.of_fuzz ~family ~seed:p.Fuzz.seed ~inputs:p.Fuzz.inputs
+      ~outputs:p.Fuzz.outputs ~size:p.Fuzz.size
+
+let placement_seed = function
+  | Proto.Blif _ -> 1
+  | Proto.Preset { seed; _ } -> seed
+  | Proto.Workload p -> p.Fuzz.seed
+
+let build_design (spec : Proto.spec) =
+  Span.with_ ~cat:"serve" ~meta:(Proto.design_key spec) "serve.build_design"
+  @@ fun () ->
+  let network = network_of_input spec.Proto.input in
+  if spec.Proto.optimize then Cals_logic.Optimize.script_area network
+  else Cals_logic.Optimize.script_light network;
+  let subject = Cals_logic.Decompose.subject_of_network network in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:spec.Proto.utilization ~aspect:1.0 ~geometry
+  in
+  let rng = Cals_util.Rng.create (placement_seed spec.Proto.input + 1) in
+  let positions = Placement.place_subject subject ~floorplan ~rng in
+  let session = Incremental.create ~subject ~library ~positions () in
+  Incremental.warm session;
+  Incremental.seal session;
+  { subject; floorplan; positions; session }
+
+(* Racing builders waste work but stay correct: the design is built
+   outside the lock and the first insert wins, so every job with the same
+   key ends up reading one session (warmed and sealed above, hence safe
+   to share read-only across domains). *)
+let get_design t spec =
+  let key = Proto.design_key spec in
+  let lookup () =
+    Mutex.lock t.designs_mutex;
+    let found = Hashtbl.find_opt t.designs key in
+    Mutex.unlock t.designs_mutex;
+    found
+  in
+  match lookup () with
+  | Some design -> design
+  | None ->
+    let built = build_design spec in
+    Mutex.lock t.designs_mutex;
+    let winner =
+      match Hashtbl.find_opt t.designs key with
+      | Some earlier -> earlier
+      | None ->
+        Hashtbl.add t.designs key built;
+        built
+    in
+    Mutex.unlock t.designs_mutex;
+    winner
+
+(* ------------------------- degradation ladder ------------------------- *)
+
+let degradation_level t ~depth =
+  if depth >= t.config.overload_watermark then 2
+  else if depth >= t.config.high_watermark then 1
+  else 0
+
+let degraded_checks level checks =
+  match (level, checks) with
+  | 0, c -> c
+  | 1, Check.Full -> Check.Cheap
+  | 1, c -> c
+  | _, _ -> Check.Off
+
+let cap_schedule t level schedule =
+  if level < 2 then (schedule, false)
+  else begin
+    let cap = max 1 t.config.degraded_k_points in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | k :: rest -> k :: take (n - 1) rest
+    in
+    let capped = take cap schedule in
+    (capped, List.length capped < List.length schedule)
+  end
+
+(* ------------------------- one run of one job ------------------------- *)
+
+type run_metrics = {
+  wall_s : float;
+  iterations : int;
+  accepted_k : float option;
+  cells : int;
+  cell_area : float;
+  violations : int option;
+  cache_hits : int;
+  cache_misses : int;
+  checks_run : Check.level;
+  degrade_level : int;
+  k_capped : bool;
+}
+
+type run_result = Success of run_metrics | Fault of Job.fault
+
+(* The flow's accept loop against the cached session: stop at the first
+   acceptable congestion map; Cheap defers equivalence to the netlist the
+   job ships, exactly like [Flow.run] (Full already checked every K
+   inside [evaluate_k]). *)
+let run_schedule ~cancel ~checks ~design schedule =
+  let { subject; floorplan; positions; session } = design in
+  let rec loop acc = function
+    | [] -> (List.rev acc, None, None)
+    | k :: rest ->
+      Cancel.check cancel;
+      let iteration, (mapped, _placement, _routing) =
+        Flow.evaluate_k ~checks ~session ~cancel ~subject ~library ~floorplan
+          ~positions ~k ()
+      in
+      if Congestion.acceptable iteration.Flow.report then begin
+        if checks = Check.Cheap then
+          Equiv.check_exn ~rounds:(Check.rounds checks)
+            ~rng:(Cals_util.Rng.create (Flow.equiv_seed ~k))
+            ~stage:"equiv" (Equiv.of_subject subject)
+            (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped);
+        (List.rev (iteration :: acc), Some iteration, Some mapped)
+      end
+      else loop (iteration :: acc) rest
+  in
+  loop [] schedule
+
+let json_of_option f = function Some v -> f v | None -> Proto.Null
+
+let metrics_json (job : Job.t) (m : run_metrics) =
+  let spec = job.Job.spec in
+  let hit_rate =
+    let total = m.cache_hits + m.cache_misses in
+    if total = 0 then 0.0 else float_of_int m.cache_hits /. float_of_int total
+  in
+  Proto.Obj
+    [
+      ("id", Proto.Str spec.Proto.id);
+      ("design_key", Proto.Str (Proto.design_key spec));
+      ("attempts", Proto.Num (float_of_int job.Job.attempts));
+      ("wall_s", Proto.Num m.wall_s);
+      ("iterations", Proto.Num (float_of_int m.iterations));
+      ("accepted_k", json_of_option (fun k -> Proto.Num k) m.accepted_k);
+      ("cells", Proto.Num (float_of_int m.cells));
+      ("cell_area", Proto.Num m.cell_area);
+      ( "violations",
+        json_of_option (fun v -> Proto.Num (float_of_int v)) m.violations );
+      ( "cache",
+        Proto.Obj
+          [
+            ("hits", Proto.Num (float_of_int m.cache_hits));
+            ("misses", Proto.Num (float_of_int m.cache_misses));
+            ("hit_rate", Proto.Num hit_rate);
+          ] );
+      ("checks", Proto.Str (Check.level_to_string m.checks_run));
+      ( "degradation",
+        Proto.Obj
+          [
+            ("level", Proto.Num (float_of_int m.degrade_level));
+            ("checks_shed", Proto.Bool (m.checks_run <> spec.Proto.checks));
+            ("k_capped", Proto.Bool m.k_capped);
+          ] );
+    ]
+
+let write_success_artifacts t (job : Job.t) m mapped =
+  let dir = job_dir t job in
+  mkdir_p dir;
+  write_file
+    (Filename.concat dir "job.json")
+    (Proto.print_json (Proto.spec_to_json job.Job.spec) ^ "\n");
+  write_file
+    (Filename.concat dir "metrics.json")
+    (Proto.print_json (metrics_json job m) ^ "\n");
+  match mapped with
+  | Some mapped ->
+    write_file (Filename.concat dir "mapped.v") (Mapped.to_verilog mapped)
+  | None -> ()
+
+let run_job t ~level (job : Job.t) =
+  let spec = job.Job.spec in
+  job.Job.attempts <- job.Job.attempts + 1;
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    match spec.Proto.deadline_s with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_s
+  in
+  let cancel =
+    match deadline with
+    | None -> Cancel.create ()
+    | Some d -> Cancel.create ~expires:(fun () -> Unix.gettimeofday () -. t0 > d) ()
+  in
+  try
+    Span.with_ ~cat:"serve" ~meta:spec.Proto.id "serve.job" @@ fun () ->
+    let design = get_design t spec in
+    let stats0 = Incremental.stats design.session in
+    let checks = degraded_checks level spec.Proto.checks in
+    let schedule =
+      Option.value spec.Proto.k_schedule ~default:Flow.default_k_schedule
+    in
+    let schedule, k_capped = cap_schedule t level schedule in
+    let iterations, accepted, mapped =
+      run_schedule ~cancel ~checks ~design schedule
+    in
+    let stats1 = Incremental.stats design.session in
+    let m =
+      {
+        wall_s = Unix.gettimeofday () -. t0;
+        iterations = List.length iterations;
+        accepted_k = Option.map (fun it -> it.Flow.k) accepted;
+        cells =
+          (match accepted with Some it -> it.Flow.cells | None -> 0);
+        cell_area =
+          (match accepted with Some it -> it.Flow.cell_area | None -> 0.0);
+        violations =
+          Option.map
+            (fun it -> it.Flow.report.Congestion.violations)
+            accepted;
+        cache_hits = stats1.Incremental.hits - stats0.Incremental.hits;
+        cache_misses = stats1.Incremental.misses - stats0.Incremental.misses;
+        checks_run = checks;
+        degrade_level = level;
+        k_capped;
+      }
+    in
+    write_success_artifacts t job m mapped;
+    Success m
+  with
+  | Cancel.Cancelled _ ->
+    Fault (Job.Timed_out (Option.value deadline ~default:0.0))
+  | Check.Violation { stage; detail } -> Fault (Job.Violation { stage; detail })
+  | exn -> Fault (Job.Crashed (Printexc.to_string exn))
+
+(* ------------------------- quarantine ------------------------- *)
+
+let fault_stage_detail = function
+  | Job.Timed_out d -> ("deadline", Printf.sprintf "exceeded %.3fs budget" d)
+  | Job.Violation { stage; detail } -> (stage, detail)
+  | Job.Crashed detail -> ("crash", detail)
+
+let write_quarantine t (job : Job.t) fault =
+  let spec = job.Job.spec in
+  let dir = quarantine_dir t spec.Proto.id in
+  mkdir_p dir;
+  (* The spec itself is respoolable: drop job.json back in the spool to
+     retry after a fix. *)
+  write_file
+    (Filename.concat dir "job.json")
+    (Proto.print_json (Proto.spec_to_json spec) ^ "\n");
+  write_file
+    (Filename.concat dir "failure.txt")
+    (Printf.sprintf "job: %s\nattempts: %d\nfault: %s\n" spec.Proto.id
+       job.Job.attempts
+       (Job.fault_to_string fault));
+  match spec.Proto.input with
+  | Proto.Workload params ->
+    let stage, detail = fault_stage_detail fault in
+    Fuzz.write_reproducer
+      ~path:(Filename.concat dir "reproducer.txt")
+      { Fuzz.params; stage; detail; shrink_steps = 0 }
+  | Proto.Blif _ | Proto.Preset _ -> ()
+
+(* ------------------------- the drain loop ------------------------- *)
+
+let summary_json t ~wall_s =
+  Proto.Obj
+    [
+      ("submitted", Proto.Num (float_of_int t.submitted));
+      ("completed", Proto.Num (float_of_int t.completed));
+      ("quarantined", Proto.Num (float_of_int t.quarantined));
+      ("retries", Proto.Num (float_of_int t.retries));
+      ("timeouts", Proto.Num (float_of_int t.timeouts));
+      ("parse_errors", Proto.Num (float_of_int t.parse_errors));
+      ("wall_s", Proto.Num wall_s);
+    ]
+
+let apply_result t ((job : Job.t), result) =
+  match result with
+  | Success m ->
+    job.Job.status <- Job.Done;
+    t.completed <- t.completed + 1;
+    Metrics.incr m_completed;
+    Metrics.observe m_job_seconds m.wall_s;
+    Log.info (fun f ->
+        f "%s done in %.2fs (accepted K=%s, cache hit rate %.0f%%)"
+          job.Job.spec.Proto.id m.wall_s
+          (match m.accepted_k with
+          | Some k -> Printf.sprintf "%g" k
+          | None -> "none")
+          (100.0
+          *.
+          let total = m.cache_hits + m.cache_misses in
+          if total = 0 then 0.0
+          else float_of_int m.cache_hits /. float_of_int total))
+  | Fault fault -> (
+    (match fault with
+    | Job.Timed_out _ ->
+      t.timeouts <- t.timeouts + 1;
+      Metrics.incr m_timeouts
+    | _ -> ());
+    let now = Unix.gettimeofday () in
+    match Queue.record_fault t.queue ~now job fault with
+    | `Retry ->
+      t.retries <- t.retries + 1;
+      Metrics.incr m_retried;
+      Log.info (fun f ->
+          f "%s faulted (%s), retry %d queued" job.Job.spec.Proto.id
+            (Job.fault_to_string fault) job.Job.attempts)
+    | `Quarantine ->
+      t.quarantined <- t.quarantined + 1;
+      Metrics.incr m_quarantined;
+      write_quarantine t job fault;
+      Log.warn (fun f ->
+          f "%s quarantined after %d attempts: %s" job.Job.spec.Proto.id
+            job.Job.attempts
+            (Job.fault_to_string fault)))
+
+let drain t ?spool () =
+  if t.drained then invalid_arg "Scheduler.drain: scheduler already drained";
+  t.drained <- true;
+  let t0 = Unix.gettimeofday () in
+  mkdir_p t.config.out_dir;
+  (match spool with
+  | Some dir -> ignore (load_spool t ~dir)
+  | None -> ());
+  let pool = Pool.create ~jobs:(max 1 t.config.jobs) in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let rec loop () =
+    if t.config.watch then
+      Option.iter (fun dir -> ignore (load_spool t ~dir)) spool;
+    let now = Unix.gettimeofday () in
+    let depth = Queue.depth t.queue in
+    Metrics.set m_queue_depth (float_of_int depth);
+    let level = degradation_level t ~depth in
+    Metrics.set m_degradation (float_of_int level);
+    match Queue.take_ready t.queue ~now ~max:max_int with
+    | [] -> (
+      match Queue.next_gate t.queue ~now with
+      | Some wait ->
+        (* Jobs exist but all are backing off: sleep up to their gate. *)
+        Unix.sleepf (Float.max 0.001 (Float.min wait t.config.tick_s));
+        loop ()
+      | None ->
+        if t.config.watch then begin
+          Unix.sleepf t.config.tick_s;
+          loop ()
+        end)
+    | batch ->
+      if level > 0 then begin
+        Metrics.add m_degraded (List.length batch);
+        Log.warn (fun f ->
+            f "queue depth %d: degradation level %d for this round" depth
+              level)
+      end;
+      Log.info (fun f ->
+          f "round: %d jobs over %d domains" (List.length batch)
+            (Pool.jobs pool));
+      let results =
+        Pool.map_array pool
+          ~f:(fun _ job -> (job, run_job t ~level job))
+          (Array.of_list batch)
+      in
+      Array.iter (apply_result t) results;
+      loop ()
+  in
+  loop ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  write_file
+    (Filename.concat t.config.out_dir "summary.json")
+    (Proto.print_json (summary_json t ~wall_s) ^ "\n");
+  Log.info (fun f ->
+      f "drained: %d completed, %d quarantined, %d retries in %.2fs"
+        t.completed t.quarantined t.retries wall_s);
+  {
+    submitted = t.submitted;
+    completed = t.completed;
+    quarantined = t.quarantined;
+    retries = t.retries;
+    timeouts = t.timeouts;
+    parse_errors = t.parse_errors;
+    wall_s;
+  }

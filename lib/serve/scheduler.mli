@@ -1,0 +1,98 @@
+(** The batch service engine behind [cals serve].
+
+    A scheduler owns one {!Queue}, one shared {!Cals_util.Pool} of
+    worker domains, and a {e design cache}: per distinct circuit
+    ({!Proto.design_key}) the subject graph, floorplan, companion
+    placement and a warmed-and-sealed {!Cals_core.Incremental} session,
+    kept alive across jobs so repeated designs skip decomposition,
+    placement and pattern matching entirely. Telemetry rings and metric
+    counters likewise persist for the life of the process — one trace
+    covers the whole drain.
+
+    {2 Execution model}
+
+    Jobs are drained in fork/join rounds: every queued job whose backoff
+    gate has passed is dispatched through {!Cals_util.Pool.map_array},
+    each worker runs its job's whole K schedule (via
+    {!Cals_core.Flow.evaluate_k} against the design's shared session)
+    and writes the job's artifact directory, and the main domain then
+    applies the failure policy to the round's faults. A job's deadline
+    becomes a {!Cals_util.Cancel} token with a wall-clock expiry,
+    checked cooperatively at every flow and router check point.
+
+    {2 Failure policy}
+
+    A run that times out, crashes, or violates a verification invariant
+    is retried under the queue's exponential backoff until its attempt
+    budget is spent, then quarantined under [out_dir/quarantine/<id>/]
+    with the respoolable job spec, the fault, and — for synthetic
+    [workload] jobs — a reproducer in {!Cals_verify.Fuzz} format that
+    [cals fuzz --replay] accepts.
+
+    {2 Graceful degradation}
+
+    Queue depth drives a two-step ladder, re-read at every round:
+    at [high_watermark] jobs shed [Full] checks to [Cheap]; at
+    [overload_watermark] checks turn [Off] and K schedules are capped at
+    [degraded_k_points] points. Degraded jobs complete (their metrics
+    record what was shed) instead of the queue collapsing behind
+    expensive stragglers. *)
+
+type config = {
+  jobs : int;  (** Worker domains (>= 1). *)
+  out_dir : string;  (** Artifact root; created on demand. *)
+  default_deadline_s : float option;
+      (** Deadline for jobs that specify none; [None] = unlimited. *)
+  max_attempts : int;  (** Runs per job before quarantine. *)
+  backoff_s : float;  (** First retry delay; doubles per failure. *)
+  high_watermark : int;  (** Queue depth that sheds [Full] -> [Cheap]. *)
+  overload_watermark : int;
+      (** Queue depth that turns checks [Off] and caps the K schedule. *)
+  degraded_k_points : int;  (** Schedule cap under overload. *)
+  watch : bool;
+      (** Keep polling the spool when the queue drains (daemon mode)
+          instead of exiting (one-shot drain, the default). *)
+  tick_s : float;  (** Idle sleep / spool poll interval. *)
+}
+
+val default_config : config
+(** [jobs = 1], [out_dir = "cals-serve-out"], no default deadline,
+    3 attempts, 50 ms backoff, watermarks 8 / 16, 6 degraded K points,
+    one-shot drain, 100 ms tick. *)
+
+type summary = {
+  submitted : int;
+  completed : int;
+  quarantined : int;
+  retries : int;  (** Faulted runs that went back in the queue. *)
+  timeouts : int;  (** Runs (not jobs) that hit their deadline. *)
+  parse_errors : int;  (** Rejected spool/stdin lines. *)
+  wall_s : float;
+}
+
+type t
+
+val create : config -> t
+
+val submit : t -> Proto.spec -> unit
+(** Admit one job. An empty [id] is replaced with a fresh
+    ["job-NNNN"]. *)
+
+val submit_line : t -> source:string -> string -> (unit, string) result
+(** Parse one JSON-lines job and admit it. On a malformed line the
+    error is returned {e and} recorded under
+    [out_dir/quarantine/<source>/] so a bad producer is visible after
+    the fact; blank lines and [#] comments are accepted and ignored. *)
+
+val load_spool : t -> dir:string -> int
+(** Ingest every [*.json] file in [dir] (sorted, one job per line),
+    deleting each file once read. Returns the number of jobs
+    admitted. *)
+
+val drain : t -> ?spool:string -> unit -> summary
+(** Run rounds until the queue is empty (or forever under
+    [config.watch], re-polling [spool] between rounds). Every round's
+    results are applied before the next is dispatched; on return the
+    pool is shut down, every submitted job is [Done] or [Quarantined],
+    and [out_dir/summary.json] records the totals. Safe to call once
+    per scheduler. *)

@@ -1,0 +1,146 @@
+(* End-to-end smoke of every cals subcommand on a tiny golden BLIF:
+   asserts exit codes and the artifacts each command promises. Runs the
+   real binary (built as a test dependency), so this is the one suite
+   that exercises argument parsing, file IO and exit-code wiring. *)
+
+let cals = Filename.concat ".." "bin/cals.exe"
+let blif = Filename.concat "golden" "pla_small_06.blif"
+let log_file = "cli-smoke.log"
+
+(* Run through the shell so redirections work; on an unexpected exit code
+   surface the command's own output in the failure message. *)
+let run cmd =
+  Sys.command (Printf.sprintf "%s > %s 2>&1" cmd log_file)
+
+let logged () =
+  if not (Sys.file_exists log_file) then ""
+  else begin
+    let ic = open_in log_file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let check_exit name expected cmd =
+  let code = run cmd in
+  if code <> expected then
+    Alcotest.failf "%s: exit %d (wanted %d)\n--- output ---\n%s" name code
+      expected (logged ())
+
+let check_file name path =
+  Alcotest.(check bool) (name ^ ": " ^ path ^ " exists") true
+    (Sys.file_exists path)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------- subcommands ------------------------- *)
+
+let test_stats () =
+  check_exit "stats" 0 (Printf.sprintf "%s stats %s" cals blif);
+  Alcotest.(check bool) "prints the subject size" true
+    (contains ~needle:"subject:" (logged ()))
+
+let test_map () =
+  check_exit "map" 0
+    (Printf.sprintf "%s map %s -k 0.001 -o cli-mapped.v" cals blif);
+  check_file "map" "cli-mapped.v";
+  let ic = open_in "cli-mapped.v" in
+  let verilog =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check bool) "structural Verilog" true
+    (contains ~needle:"module" verilog)
+
+let test_flow () =
+  check_exit "flow accepted" 0
+    (Printf.sprintf "%s flow %s --check cheap" cals blif);
+  Alcotest.(check bool) "reports the accepted K" true
+    (contains ~needle:"accepted at K=" (logged ()));
+  (* A preset works as input too, and the trace artifact lands. *)
+  check_exit "flow preset" 0
+    (Printf.sprintf
+       "%s flow --preset spla --scale 0.02 --seed 5 --trace cli-trace.json"
+       cals);
+  check_file "flow" "cli-trace.json"
+
+let test_sta () =
+  check_exit "sta" 0 (Printf.sprintf "%s sta %s" cals blif);
+  Alcotest.(check bool) "prints a critical path" true
+    (contains ~needle:"critical path:" (logged ()))
+
+let test_lib () =
+  check_exit "lib" 0 (Printf.sprintf "%s lib -o cli-lib.lib" cals);
+  check_file "lib" "cli-lib.lib"
+
+let test_fuzz () =
+  check_exit "fuzz" 0 (Printf.sprintf "%s fuzz --iterations 1 --seed 1" cals);
+  (* Replay path: write a known-good reproducer and replay it. *)
+  Cals_verify.Fuzz.write_reproducer ~path:"cli-repro.txt"
+    {
+      Cals_verify.Fuzz.params =
+        {
+          Cals_verify.Fuzz.seed = 3;
+          family = Cals_verify.Fuzz.Pla;
+          inputs = 6;
+          outputs = 3;
+          size = 12;
+        };
+      stage = "none";
+      detail = "smoke";
+      shrink_steps = 0;
+    };
+  check_exit "fuzz --replay" 0
+    (Printf.sprintf "%s fuzz --replay cli-repro.txt" cals)
+
+let test_serve () =
+  (* One-shot spool drain: two jobs, one of them respooling the golden
+     BLIF through the service. *)
+  let spool = "cli-spool" in
+  (try Unix.mkdir spool 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat spool "jobs.json") in
+  output_string oc
+    (Printf.sprintf
+       "{\"id\":\"cli-blif\",\"blif\":\"%s\",\"k_schedule\":[0,0.001]}\n\
+        {\"id\":\"cli-wl\",\"workload\":{\"family\":\"pla\",\"seed\":3,\"inputs\":6,\"outputs\":3,\"size\":12},\"checks\":\"cheap\"}\n"
+       blif);
+  close_out oc;
+  check_exit "serve drain" 0
+    (Printf.sprintf "%s serve --spool %s --out cli-serve-out -j 2" cals spool);
+  Alcotest.(check bool) "prints the drain summary" true
+    (contains ~needle:"2 submitted, 2 completed" (logged ()));
+  List.iter (check_file "serve")
+    [
+      "cli-serve-out/cli-blif/metrics.json";
+      "cli-serve-out/cli-blif/mapped.v";
+      "cli-serve-out/cli-wl/metrics.json";
+      "cli-serve-out/summary.json";
+    ];
+  (* No job source is a usage error. *)
+  check_exit "serve without a source" 2 (Printf.sprintf "%s serve" cals)
+
+let test_bad_usage () =
+  let code = run (Printf.sprintf "%s no-such-subcommand" cals) in
+  Alcotest.(check bool) "unknown subcommand fails" true (code <> 0);
+  let code = run (Printf.sprintf "%s flow" cals) in
+  Alcotest.(check bool) "flow without input fails" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "flow" `Quick test_flow;
+          Alcotest.test_case "sta" `Quick test_sta;
+          Alcotest.test_case "lib" `Quick test_lib;
+          Alcotest.test_case "fuzz" `Quick test_fuzz;
+          Alcotest.test_case "serve" `Quick test_serve;
+          Alcotest.test_case "bad-usage" `Quick test_bad_usage;
+        ] );
+    ]

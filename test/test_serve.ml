@@ -1,0 +1,314 @@
+(* The batch service: protocol parsing, queue policy, and the acceptance
+   drain — 8+ mixed jobs over 4 domains with one injected timeout and one
+   injected failure, quarantine with reproducers, repeated-design cache
+   hits visible in the metrics artifacts, and a clean shutdown. *)
+
+module Proto = Cals_serve.Proto
+module Job = Cals_serve.Job
+module Queue = Cals_serve.Queue
+module Scheduler = Cals_serve.Scheduler
+module Check = Cals_verify.Check
+module Fuzz = Cals_verify.Fuzz
+
+(* ------------------------- helpers ------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match Proto.parse_json (read_file path) with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "%s: malformed JSON: %s" path e
+
+let num_member name json =
+  match Proto.member name json with
+  | Some (Proto.Num n) -> n
+  | _ -> Alcotest.failf "missing numeric field %s" name
+
+let fresh_out =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "serve-test-out-%d" !n
+
+let workload_spec ?(id = "") ?(checks = Check.Off) ?deadline_s ?k_schedule
+    ~seed () =
+  {
+    Proto.id;
+    input =
+      Proto.Workload
+        { Fuzz.seed; family = Fuzz.Pla; inputs = 6; outputs = 3; size = 12 };
+    k_schedule;
+    checks;
+    utilization = 0.55;
+    optimize = false;
+    deadline_s;
+  }
+
+(* ------------------------- proto ------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|{"id":"a","blif":"x.blif","checks":"cheap","deadline_s":2.5}|};
+      {|{"preset":"spla","scale":0.05,"seed":7,"optimize":true}|};
+      {|{"workload":{"family":"pla","seed":3,"inputs":6,"outputs":3,"size":12},"k_schedule":[0,0.001]}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Proto.spec_of_string ~default_id:"d" line with
+      | Error e -> Alcotest.failf "parse %s: %s" line e
+      | Ok spec -> (
+        let printed = Proto.print_json (Proto.spec_to_json spec) in
+        match Proto.spec_of_string ~default_id:"d" printed with
+        | Error e -> Alcotest.failf "re-parse %s: %s" printed e
+        | Ok spec' ->
+          Alcotest.(check string)
+            "design key survives a round-trip" (Proto.design_key spec)
+            (Proto.design_key spec');
+          Alcotest.(check string) "id survives" spec.Proto.id spec'.Proto.id))
+    cases
+
+let test_json_errors () =
+  let bad =
+    [
+      "not json";
+      "{}";
+      {|{"blif":"a","preset":"spla"}|};
+      {|{"preset":"nope"}|};
+      {|{"blif":"a","deadline_s":-1}|};
+      {|{"workload":{"family":"pla"}}|};
+      {|{"blif":"a"} trailing|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Proto.spec_of_string ~default_id:"d" line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed job %s" line)
+    bad
+
+let test_design_key () =
+  let base = workload_spec ~seed:3 () in
+  let same =
+    { base with Proto.id = "other"; checks = Check.Full; deadline_s = Some 9.0 }
+  in
+  Alcotest.(check string)
+    "id/checks/deadline do not change the circuit" (Proto.design_key base)
+    (Proto.design_key same);
+  let different = workload_spec ~seed:4 () in
+  Alcotest.(check bool)
+    "seed changes the circuit" false
+    (String.equal (Proto.design_key base) (Proto.design_key different))
+
+(* ------------------------- queue ------------------------- *)
+
+let test_queue_policy () =
+  let q = Queue.create ~max_attempts:2 ~backoff_s:10.0 () in
+  let job = Job.create ~now:0.0 (workload_spec ~id:"q1" ~seed:3 ()) in
+  Queue.push q job;
+  Alcotest.(check int) "depth" 1 (Queue.depth q);
+  (match Queue.take_ready q ~now:1.0 ~max:5 with
+  | [ j ] -> Alcotest.(check bool) "running" true (j.Job.status = Job.Running)
+  | other -> Alcotest.failf "took %d jobs" (List.length other));
+  job.Job.attempts <- 1;
+  (match Queue.record_fault q ~now:1.0 job (Job.Crashed "boom") with
+  | `Retry -> ()
+  | `Quarantine -> Alcotest.fail "first fault must retry");
+  Alcotest.(check bool) "behind its gate" true
+    (Queue.take_ready q ~now:1.0 ~max:5 = []);
+  (match Queue.next_gate q ~now:1.0 with
+  | Some wait -> Alcotest.(check bool) "gate ~10s out" true (wait > 5.0)
+  | None -> Alcotest.fail "expected a backoff gate");
+  (match Queue.take_ready q ~now:12.0 ~max:5 with
+  | [ j ] ->
+    j.Job.attempts <- 2;
+    (match Queue.record_fault q ~now:12.0 j (Job.Crashed "boom") with
+    | `Quarantine ->
+      Alcotest.(check bool) "quarantined status" true
+        (match j.Job.status with Job.Quarantined _ -> true | _ -> false)
+    | `Retry -> Alcotest.fail "budget spent, must quarantine")
+  | other -> Alcotest.failf "took %d jobs after the gate" (List.length other));
+  Alcotest.(check int) "quarantined jobs leave the queue" 0 (Queue.depth q)
+
+(* ------------------------- the acceptance drain ------------------------- *)
+
+(* 9 mixed jobs over 4 domains: six repeated-design workload jobs (two
+   distinct circuits), one good preset job, one injected timeout (a
+   workload job with a hopeless deadline — its quarantine must carry a
+   replayable reproducer) and one injected failure (a BLIF path that does
+   not exist). *)
+let test_drain_mixed () =
+  let out = fresh_out () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.jobs = 4;
+      out_dir = out;
+      backoff_s = 0.005;
+      max_attempts = 2;
+    }
+  in
+  let scheduler = Scheduler.create config in
+  for i = 0 to 5 do
+    Scheduler.submit scheduler
+      (workload_spec
+         ~id:(Printf.sprintf "wl-%d" i)
+         ~seed:(3 + (i mod 2))
+         ~checks:Check.Cheap
+         ~k_schedule:[ 0.0; 0.001 ]
+         ())
+  done;
+  Scheduler.submit scheduler
+    {
+      Proto.id = "preset-ok";
+      input = Proto.Preset { name = "spla"; scale = 0.02; seed = 5 };
+      k_schedule = Some [ 0.0; 0.001 ];
+      checks = Check.Off;
+      utilization = 0.55;
+      optimize = false;
+      deadline_s = None;
+    };
+  Scheduler.submit scheduler
+    (workload_spec ~id:"too-slow" ~seed:9 ~deadline_s:1e-4 ());
+  Scheduler.submit scheduler
+    {
+      Proto.id = "no-such-file";
+      input = Proto.Blif "does-not-exist.blif";
+      k_schedule = None;
+      checks = Check.Off;
+      utilization = 0.55;
+      optimize = false;
+      deadline_s = None;
+    };
+  let s = Scheduler.drain scheduler () in
+  Alcotest.(check int) "submitted" 9 s.Scheduler.submitted;
+  Alcotest.(check int) "completed" 7 s.Scheduler.completed;
+  Alcotest.(check int) "quarantined" 2 s.Scheduler.quarantined;
+  Alcotest.(check int) "one retry per attempt past the first" 2
+    s.Scheduler.retries;
+  Alcotest.(check bool) "timeouts counted" true (s.Scheduler.timeouts >= 1);
+  (* Completed jobs wrote their artifacts. *)
+  List.iter
+    (fun id ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s exists" id f)
+            true
+            (Sys.file_exists (Filename.concat (Filename.concat out id) f)))
+        [ "job.json"; "metrics.json"; "mapped.v" ])
+    [ "wl-0"; "wl-5"; "preset-ok" ];
+  (* A repeated-design job served its matches from the shared session. *)
+  let metrics = parse_file (Filename.concat out "wl-5/metrics.json") in
+  (match Proto.member "cache" metrics with
+  | Some cache ->
+    Alcotest.(check bool)
+      "repeated design has a positive cache hit rate" true
+      (num_member "hit_rate" cache > 0.0)
+  | None -> Alcotest.fail "metrics.json has no cache object");
+  (* The timed-out workload job quarantined with a replayable reproducer. *)
+  let qdir = Filename.concat out "quarantine" in
+  Alcotest.(check bool) "timeout quarantined" true
+    (Sys.file_exists (Filename.concat qdir "too-slow/failure.txt"));
+  let repro = Filename.concat qdir "too-slow/reproducer.txt" in
+  Alcotest.(check bool) "reproducer written" true (Sys.file_exists repro);
+  let params = Fuzz.read_reproducer repro in
+  Alcotest.(check int) "reproducer replays the job's circuit" 9
+    params.Fuzz.seed;
+  (* The bad BLIF quarantined with a respoolable job spec. *)
+  let bad_spec = parse_file (Filename.concat qdir "no-such-file/job.json") in
+  (match Proto.spec_of_json ~default_id:"" bad_spec with
+  | Ok spec -> Alcotest.(check string) "respoolable" "no-such-file" spec.Proto.id
+  | Error e -> Alcotest.failf "quarantined job.json does not re-parse: %s" e);
+  (* summary.json agrees with the returned summary. *)
+  let summary = parse_file (Filename.concat out "summary.json") in
+  Alcotest.(check int) "summary.json completed" 7
+    (int_of_float (num_member "completed" summary))
+
+(* Overload: with watermarks at 1/2 every round of this 4-job batch runs
+   at level 2 — checks shed to off, K schedule capped. *)
+let test_degradation () =
+  let out = fresh_out () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.jobs = 2;
+      out_dir = out;
+      high_watermark = 1;
+      overload_watermark = 2;
+      degraded_k_points = 2;
+    }
+  in
+  let scheduler = Scheduler.create config in
+  for i = 0 to 3 do
+    Scheduler.submit scheduler
+      (workload_spec
+         ~id:(Printf.sprintf "hot-%d" i)
+         ~seed:3 ~checks:Check.Full
+         ~k_schedule:[ 0.0; 0.001; 0.01; 0.1 ]
+         ())
+  done;
+  let s = Scheduler.drain scheduler () in
+  Alcotest.(check int) "all complete despite overload" 4
+    s.Scheduler.completed;
+  let metrics = parse_file (Filename.concat out "hot-0/metrics.json") in
+  let degradation =
+    match Proto.member "degradation" metrics with
+    | Some d -> d
+    | None -> Alcotest.fail "metrics.json has no degradation object"
+  in
+  Alcotest.(check int) "overload level recorded" 2
+    (int_of_float (num_member "level" degradation));
+  Alcotest.(check bool) "checks shed" true
+    (Proto.member "checks_shed" degradation = Some (Proto.Bool true));
+  Alcotest.(check bool) "schedule capped" true
+    (Proto.member "k_capped" degradation = Some (Proto.Bool true))
+
+(* A malformed spool line is rejected, recorded, and does not poison the
+   rest of the batch. *)
+let test_spool_and_parse_errors () =
+  let out = fresh_out () in
+  let spool = out ^ "-spool" in
+  (try Unix.mkdir spool 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat spool "batch.json") in
+  output_string oc
+    ("# a comment line\n"
+   ^ {|{"workload":{"family":"pla","seed":3,"inputs":6,"outputs":3,"size":12},"k_schedule":[0]}|}
+   ^ "\nthis is not json\n");
+  close_out oc;
+  let config =
+    { Scheduler.default_config with Scheduler.out_dir = out }
+  in
+  let scheduler = Scheduler.create config in
+  let s = Scheduler.drain scheduler ~spool () in
+  Alcotest.(check int) "one job admitted" 1 s.Scheduler.submitted;
+  Alcotest.(check int) "it completed" 1 s.Scheduler.completed;
+  Alcotest.(check int) "one parse error" 1 s.Scheduler.parse_errors;
+  Alcotest.(check bool) "spool file consumed" false
+    (Sys.file_exists (Filename.concat spool "batch.json"));
+  Alcotest.(check bool) "parse error recorded" true
+    (Sys.file_exists
+       (Filename.concat out "quarantine/batch.json/parse-001.txt"))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "design-key" `Quick test_design_key;
+        ] );
+      ("queue", [ Alcotest.test_case "policy" `Quick test_queue_policy ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "drain-mixed" `Quick test_drain_mixed;
+          Alcotest.test_case "degradation" `Quick test_degradation;
+          Alcotest.test_case "spool" `Quick test_spool_and_parse_errors;
+        ] );
+    ]
