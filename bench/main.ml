@@ -442,11 +442,8 @@ let same_outcome (a : Flow.outcome) (b : Flow.outcome) =
   && Option.map sig_of a.Flow.accepted = Option.map sig_of b.Flow.accepted
 
 let perf_report ~scale ~jobs ~json =
-  (* Record spans for the whole perf section so the JSON dump carries
-     per-stage statistics alongside the wall-clock numbers. *)
   Ring.clear ();
   Metrics.reset ();
-  Probe.enable ();
   let circuit = spla ~scale in
   Printf.printf "Perf: %s, %d base gates, jobs=%d (host reports %d cores)\n"
     circuit.name
@@ -470,18 +467,28 @@ let perf_report ~scale ~jobs ~json =
         Placement.place_mapped_seeded mapped ~floorplan:circuit.floorplan)
   in
   let alloc0 = Gc.allocated_bytes () in
+  let gc0 = Gc.quick_stat () in
   let routing, route_s =
     wall (fun () ->
         Router.route_mapped ~config:router_config mapped
           ~floorplan:circuit.floorplan ~wire ~placement)
   in
+  let gc1 = Gc.quick_stat () in
   let route_alloc_mb = (Gc.allocated_bytes () -. alloc0) /. 1048576.0 in
+  let route_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words in
+  let route_major_words = gc1.Gc.major_words -. gc0.Gc.major_words in
   Printf.printf
     "  stages @ K=%g: map %.3fs (%s matches, %s matches/sec), place %.3fs,\n\
-    \    route %.3fs (%d violations, %.1f MB allocated)\n"
+    \    route %.3fs (%d violations, %.1f MB allocated, %.2e minor + %.2e \
+     major words)\n"
     k map_s (Tables.fmt_int matches)
     (Tables.fmt_int (int_of_float matches_per_sec))
-    place_s route_s routing.Router.violations route_alloc_mb;
+    place_s route_s routing.Router.violations route_alloc_mb route_minor_words
+    route_major_words;
+  (* Spans from here on: the probe window covers only the sweeps, so the
+     flow.k_eval / route.route_pins totals below measure the K-schedule
+     loop, not the stage timing above. *)
+  Probe.enable ();
   (* Full K-schedule sweep, sequential vs speculative-parallel. Fresh RNGs
      with the same seed give both flows the same companion placement. *)
   let subject = circuit.subject and floorplan = circuit.floorplan in
@@ -510,6 +517,21 @@ let perf_report ~scale ~jobs ~json =
     jobs par_s speedup identical;
   if not identical then
     print_endline "  WARNING: parallel flow diverged from the sequential loop";
+  (* Router share of the sweep, from the span totals accumulated by the
+     two flow runs above (snapshot now, before the sweeps below add
+     route.route_pins time outside any flow.k_eval). *)
+  let route_share =
+    let spans = Export.span_stats () in
+    let total name =
+      match List.find_opt (fun s -> s.Export.s_name = name) spans with
+      | Some s -> s.Export.s_total_us
+      | None -> 0.0
+    in
+    let k_eval = total "flow.k_eval" in
+    if k_eval > 0.0 then total "route.route_pins" /. k_eval else 0.0
+  in
+  Printf.printf "  route share of the K sweep: %.1f%% of flow.k_eval\n"
+    (100.0 *. route_share);
   (* Cold vs incremental mapping sweep: the match cache's win — one match
      phase, then only the cost-combination DP per K point. Placement and
      routing are untouched by the engine, so the pair times the mapping
@@ -545,6 +567,61 @@ let perf_report ~scale ~jobs ~json =
     cold_s inc_s sweep_speedup cache_hit_rate sweep_identical;
   if not sweep_identical then
     print_endline "  WARNING: incremental sweep diverged from the cold sweep";
+  (* Cold vs session-warm routing sweep: the router session's win. Each
+     K point's mapped netlist is placed once; both sides then route every
+     placement twice, so with a session the second pass is pure replay. *)
+  let fixtures =
+    List.filter_map
+      (fun (r : Mapper.result) ->
+        let mapped = r.Mapper.mapped in
+        match
+          Placement.place_mapped_seeded mapped ~floorplan:circuit.floorplan
+        with
+        | exception Cals_place.Legalize.Overflow _ -> None
+        | placement -> Some (mapped, placement))
+      cold_sweep
+  in
+  let route_all session =
+    List.map
+      (fun (mapped, placement) ->
+        Router.route_mapped ~config:router_config ?session mapped
+          ~floorplan:circuit.floorplan ~wire ~placement)
+      fixtures
+  in
+  let route_cold, route_cold_s =
+    wall (fun () ->
+        let _ = route_all None in
+        route_all None)
+  in
+  let rsession = Router.Session.create () in
+  let route_warm, route_warm_s =
+    wall (fun () ->
+        let _ = route_all (Some rsession) in
+        route_all (Some rsession))
+  in
+  let route_speedup = route_cold_s /. max 1e-9 route_warm_s in
+  let route_identical =
+    List.for_all2
+      (fun (a : Router.result) (b : Router.result) ->
+        a.Router.violations = b.Router.violations
+        && a.Router.total_overflow = b.Router.total_overflow
+        && a.Router.wirelength_um = b.Router.wirelength_um
+        && a.Router.net_length_um = b.Router.net_length_um)
+      route_cold route_warm
+  in
+  let rstats = Router.Session.stats rsession in
+  let warm_hit_rate = Router.Session.warm_hit_rate rstats in
+  Printf.printf
+    "  routing sweep (%d placements x 2 passes): cold %.3fs, session %.3fs, \
+     speedup %.2fx,\n\
+    \    warm hit rate %.3f, nets reused %d / rerouted %d, arena %d bytes, \
+     identical=%b\n"
+    (List.length fixtures)
+    route_cold_s route_warm_s route_speedup warm_hit_rate
+    rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted
+    rstats.Router.Session.arena_bytes route_identical;
+  if not route_identical then
+    print_endline "  WARNING: session-warm routing diverged from cold routing";
   let spans = Export.span_stats () in
   (match json with
   | None -> ()
@@ -564,11 +641,12 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 3,\n\
+      \  \"schema\": 4,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
       \  \"jobs\": %d,\n\
+      \  \"host_cores\": %d,\n\
       \  \"stages\": {\n\
       \    \"map_s\": %.6f,\n\
       \    \"place_s\": %.6f,\n\
@@ -576,6 +654,8 @@ let perf_report ~scale ~jobs ~json =
       \    \"matches_evaluated\": %d,\n\
       \    \"matches_per_sec\": %.0f,\n\
       \    \"route_alloc_mb\": %.3f,\n\
+      \    \"route_minor_words\": %.0f,\n\
+      \    \"route_major_words\": %.0f,\n\
       \    \"route_violations\": %d\n\
       \  },\n\
       \  \"flow\": {\n\
@@ -584,7 +664,8 @@ let perf_report ~scale ~jobs ~json =
       \    \"sequential_s\": %.6f,\n\
       \    \"parallel_s\": %.6f,\n\
       \    \"speedup\": %.3f,\n\
-      \    \"parallel_identical\": %b\n\
+      \    \"parallel_identical\": %b,\n\
+      \    \"route_share\": %.4f\n\
       \  },\n\
       \  \"sweep\": {\n\
       \    \"k_points\": %d,\n\
@@ -594,17 +675,35 @@ let perf_report ~scale ~jobs ~json =
       \    \"cache_hit_rate\": %.4f,\n\
       \    \"identical\": %b\n\
       \  },\n\
+      \  \"route\": {\n\
+      \    \"placements\": %d,\n\
+      \    \"passes\": 2,\n\
+      \    \"cold_s\": %.6f,\n\
+      \    \"incremental_s\": %.6f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"warm_hit_rate\": %.4f,\n\
+      \    \"nets_reused\": %d,\n\
+      \    \"nets_rerouted\": %d,\n\
+      \    \"arena_bytes\": %d,\n\
+      \    \"identical\": %b\n\
+      \  },\n\
       \  \"spans\": [\n%s\n\
       \  ]\n\
        }\n"
       circuit.name scale
       (Subject.num_gates circuit.subject)
-      jobs map_s place_s route_s matches matches_per_sec route_alloc_mb
-      routing.Router.violations
+      jobs
+      (Domain.recommended_domain_count ())
+      map_s place_s route_s matches matches_per_sec route_alloc_mb
+      route_minor_words route_major_words routing.Router.violations
       (List.length seq.Flow.iterations)
-      accepted_k seq_s par_s speedup identical
+      accepted_k seq_s par_s speedup identical route_share
       (List.length k_schedule)
-      cold_s inc_s sweep_speedup cache_hit_rate sweep_identical spans_json;
+      cold_s inc_s sweep_speedup cache_hit_rate sweep_identical
+      (List.length fixtures)
+      route_cold_s route_warm_s route_speedup warm_hit_rate
+      rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted
+      rstats.Router.Session.arena_bytes route_identical spans_json;
     close_out oc;
     Printf.printf "  wrote %s\n" path);
   print_string (Export.summary ());
@@ -667,6 +766,31 @@ let micro_benchmarks () =
          ~floorplan:c.floorplan ~wire ~placement);
     Probe.disable ()
   in
+  (* Router session pairs. negotiate-cold / session-warm: full cold
+     negotiation vs pure replay from a pre-warmed session. maze-arena /
+     maze-alloc: the same full negotiation with pooled session arenas
+     (invalidated before every call, so nothing replays) vs fresh
+     per-call allocation — the pair isolates the allocation diet. *)
+  let route_once ?session () =
+    let c, mapped, placement = Lazy.force route_fixture in
+    ignore
+      (Router.route_mapped ~config:router_config ?session mapped
+         ~floorplan:c.floorplan ~wire ~placement)
+  in
+  let warm_session =
+    lazy
+      (let s = Router.Session.create () in
+       route_once ~session:s ();
+       s)
+  in
+  let session_warm () = route_once ~session:(Lazy.force warm_session) () in
+  let arena_session = lazy (Router.Session.create ()) in
+  let maze_arena () =
+    let s = Lazy.force arena_session in
+    Router.Session.invalidate s;
+    route_once ~session:s ()
+  in
+  let negotiate_cold () = route_once () in
   (* The incremental engine's headline number: mapping the whole K ladder
      cold (fresh partition + matching at every K) vs through one session
      (match once, re-run only the cost-combination DP per K). *)
@@ -741,6 +865,10 @@ let micro_benchmarks () =
       Test.make ~name:"table5:pdc-sta" (Staged.stage table5_work);
       Test.make ~name:"route:maze-telemetry-off" (Staged.stage (maze_work false));
       Test.make ~name:"route:maze-telemetry-on" (Staged.stage (maze_work true));
+      Test.make ~name:"route:negotiate-cold" (Staged.stage negotiate_cold);
+      Test.make ~name:"route:session-warm" (Staged.stage session_warm);
+      Test.make ~name:"route:maze-arena" (Staged.stage maze_arena);
+      Test.make ~name:"route:maze-alloc" (Staged.stage negotiate_cold);
       Test.make ~name:"flow:k-point-checks-off" (Staged.stage (checks_work Check.Off));
       Test.make ~name:"flow:k-point-checks-full" (Staged.stage (checks_work Check.Full));
       Test.make ~name:"flow:k-sweep-cold" (Staged.stage sweep_cold);
@@ -790,6 +918,16 @@ let micro_benchmarks () =
   | Some cold, Some inc when inc > 0.0 ->
     Printf.printf "  incremental K sweep: %.2fx faster than cold re-mapping\n"
       (cold /. inc)
+  | _ -> ());
+  (match (find "route:negotiate-cold", find "route:session-warm") with
+  | Some cold, Some warm when warm > 0.0 ->
+    Printf.printf "  session replay: %.2fx faster than cold negotiation\n"
+      (cold /. warm)
+  | _ -> ());
+  (match (find "route:maze-alloc", find "route:maze-arena") with
+  | Some alloc, Some arena when alloc > 0.0 ->
+    Printf.printf "  arena-pooled negotiation: %+.2f%% vs fresh allocation\n"
+      (100.0 *. ((arena /. alloc) -. 1.0))
   | _ -> ());
   print_newline ()
 

@@ -109,7 +109,7 @@ let run_map input scale seed optimize k utilization output =
 (* ------------------------- flow ------------------------- *)
 
 let run_flow verbosity input scale seed optimize utilization jobs checks
-    incremental trace metrics =
+    incremental route_incremental route_jobs trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
@@ -119,6 +119,13 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
     Printf.printf "verification checks: %s\n" (Check.level_to_string checks);
   if not incremental then
     print_endline "incremental K-loop engine disabled (cold re-mapping per K)";
+  if not route_incremental then
+    print_endline "router session disabled (cold routing per K)";
+  if route_jobs > 1 then
+    if jobs > 1 then
+      print_endline "--route-jobs ignored with --jobs > 1 (pools cannot nest)"
+    else
+      Printf.printf "routing rip-up waves on %d domains\n" route_jobs;
   let rng = Cals_util.Rng.create (seed + 1) in
   let outcome =
     try
@@ -126,10 +133,12 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
         (if jobs > 1 then begin
            Printf.printf
              "evaluating the K schedule speculatively on %d domains\n" jobs;
-           Flow.run_parallel ~jobs ~checks ~incremental ~subject ~library
-             ~floorplan ~rng ()
+           Flow.run_parallel ~jobs ~checks ~incremental ~route_incremental
+             ~subject ~library ~floorplan ~rng ()
          end
-         else Flow.run ~checks ~incremental ~subject ~library ~floorplan ~rng ())
+         else
+           Flow.run ~checks ~incremental ~route_incremental ~route_jobs
+             ~subject ~library ~floorplan ~rng ())
     with Check.Violation { stage; detail } -> Error (stage, detail)
   in
   let code =
@@ -386,6 +395,28 @@ let incremental_arg =
     & opt ~vopt:true (enum [ ("on", true); ("off", false) ]) true
     & info [ "incremental" ] ~docv:"on|off" ~doc)
 
+let route_incremental_arg =
+  let doc =
+    "Carry committed routes across the K schedule in a router session \
+     (replay route requests whose inputs did not change instead of \
+     re-routing them). On by default; $(b,--route-incremental=off) forces \
+     cold routing at every K point — the result is bit-identical either \
+     way."
+  in
+  Arg.(
+    value
+    & opt ~vopt:true (enum [ ("on", true); ("off", false) ]) true
+    & info [ "route-incremental" ] ~docv:"on|off" ~doc)
+
+let route_jobs_arg =
+  let doc =
+    "Worker domains for the router's rip-up waves: segments with disjoint \
+     search boxes maze-route concurrently inside one negotiation \
+     iteration. Only applies to the sequential K loop ($(b,--jobs) 1); \
+     the result is identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "route-jobs" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Record spans for the whole run and write a Chrome trace_event JSON file \
@@ -426,7 +457,8 @@ let flow_cmd =
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
       $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg
-      $ incremental_arg $ trace_arg $ metrics_arg)
+      $ incremental_arg $ route_incremental_arg $ route_jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let fuzz_iterations_arg =
   let doc = "Number of random workloads to check." in

@@ -72,8 +72,8 @@ let check_equiv ~checks ~subject ~seed ~k mapped =
     (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped)
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
-    ?session ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan
-    ~positions ~k () =
+    ?session ?route_session ?route_pool ?(cancel = Cals_util.Cancel.never)
+    ~subject ~library ~floorplan ~positions ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
   Cals_util.Cancel.check cancel;
@@ -114,8 +114,8 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
     Cals_util.Cancel.check cancel;
     let wire = Cals_cell.Library.wire library in
     let routing =
-      Router.route_mapped ?config:router_config ~cancel mapped ~floorplan ~wire
-        ~placement
+      Router.route_mapped ?config:router_config ~cancel ?session:route_session
+        ?pool:route_pool mapped ~floorplan ~wire ~placement
     in
     if verify then
       Check.record ~stage:"route"
@@ -165,9 +165,23 @@ let make_session ~incremental ?strategy ~subject ~library ~positions () =
          ~options:(session_options strategy)
          ~subject ~library ~positions ())
 
+(* The route session rides on the incremental mapping session when there
+   is one (so the two caches share a lifetime); with cold mapping it is
+   created standalone — route requests still repeat across K points that
+   map to the same netlist, which is exactly what the replay cache
+   catches. *)
+let make_route_session ~route_incremental session =
+  if not route_incremental then None
+  else
+    Some
+      (match session with
+      | Some s -> Incremental.route_session s
+      | None -> Router.Session.create ())
+
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true)
-    ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
+    ?(route_jobs = 1) ?(cancel = Cals_util.Cancel.never) ~subject ~library
+    ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
     Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
@@ -176,6 +190,14 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
   let session =
     make_session ~incremental ?strategy ~subject ~library ~positions ()
   in
+  let route_session = make_route_session ~route_incremental session in
+  let route_pool =
+    if route_jobs > 1 then Some (Cals_util.Pool.create ~jobs:route_jobs)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Cals_util.Pool.shutdown route_pool)
+  @@ fun () ->
   let rec loop schedule acc =
     match schedule with
     | [] ->
@@ -184,8 +206,8 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
         placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
-        evaluate_k ?router_config ?strategy ~checks ?session ~cancel ~subject
-          ~library ~floorplan ~positions ~k ()
+        evaluate_k ?router_config ?strategy ~checks ?session ?route_session
+          ?route_pool ~cancel ~subject ~library ~floorplan ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
         log_accepted iteration;
@@ -214,12 +236,13 @@ let rec take_chunk n = function
   | rest -> ([], rest)
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true)
-    ?(cancel = Cals_util.Cancel.never) ~jobs ~subject ~library ~floorplan ~rng
-    () =
+    ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
+    ?(route_jobs = 1) ?(cancel = Cals_util.Cancel.never) ~jobs ~subject
+    ~library ~floorplan ~rng () =
   if jobs <= 1 then
-    run ~k_schedule ?router_config ?strategy ~checks ~incremental ~cancel
-      ~subject ~library ~floorplan ~rng ()
+    run ~k_schedule ?router_config ?strategy ~checks ~incremental
+      ~route_incremental ~route_jobs ~cancel ~subject ~library ~floorplan ~rng
+      ()
   else begin
     Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
       "flow.run_parallel"
@@ -231,6 +254,12 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
     let session =
       make_session ~incremental ?strategy ~subject ~library ~positions ()
     in
+    (* The route session is domain-safe (mutex-guarded caches with
+       in-flight dedup), so the workers share it directly. A route pool
+       is NOT used here: the workers already run on this pool, and
+       nesting map_array would deadlock — [route_jobs] only applies to
+       the sequential K loop. *)
+    let route_session = make_route_session ~route_incremental session in
     (* Sequential match phase: enumerate every tree once, then freeze the
        cache so the worker domains share it read-only. *)
     Option.iter
@@ -262,8 +291,9 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
-              evaluate_k ?router_config ?strategy ~checks ?session ~cancel
-                ~subject ~library ~floorplan ~positions ~k ())
+              evaluate_k ?router_config ?strategy ~checks ?session
+                ?route_session ~cancel ~subject ~library ~floorplan ~positions
+                ~k ())
             (Array.of_list chunk)
         in
         let n = Array.length results in

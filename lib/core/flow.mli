@@ -31,6 +31,8 @@ val run :
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?incremental:bool ->
+  ?route_incremental:bool ->
+  ?route_jobs:int ->
   ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -56,6 +58,20 @@ val run :
     [incremental:false] to force cold re-mapping at every K (the escape
     hatch behind [cals flow --incremental=off]).
 
+    [route_incremental] (default [true]) runs the whole schedule through
+    one {!Cals_route.Router.Session}: route requests whose fingerprint
+    (netlist gcells, density, config) already routed are replayed instead
+    of re-routed, which turns the re-evaluation of an unchanged mapping
+    into a cache hit. Warm results are bit-identical to cold ones —
+    [route_incremental:false] ([cals flow --route-incremental=off]) forces
+    cold routing at every K. The session rides on the incremental mapping
+    session when both are enabled.
+
+    [route_jobs] (default 1) sizes a worker pool for the router's rip-up
+    waves: segments with disjoint search boxes maze-route concurrently
+    within one negotiation iteration. The outcome is identical for every
+    [route_jobs] value (commits are deferred and ordered).
+
     [cancel] (default {!Cals_util.Cancel.never}) makes the loop
     cooperatively cancellable: the token is checked before every K point
     and forwarded into {!evaluate_k} (which also hands it to the
@@ -69,6 +85,8 @@ val run_parallel :
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?incremental:bool ->
+  ?route_incremental:bool ->
+  ?route_jobs:int ->
   ?cancel:Cals_util.Cancel.t ->
   jobs:int ->
   subject:Cals_netlist.Subject.t ->
@@ -90,6 +108,13 @@ val run_parallel :
     before the domains start, so the workers share it read-only — see
     {!Incremental.seal}.
 
+    With [route_incremental] (the default) the worker domains share one
+    route session directly — its caches are mutex-guarded and concurrent
+    identical requests dedupe in flight, so sealing is not needed.
+    [route_jobs] is ignored here: the workers already occupy the K-point
+    pool and the router's wave pool must not nest inside it, so
+    intra-route parallelism applies only to the sequential {!run}.
+
     A fired [cancel] token is observed by every worker domain at its
     next check point; the first {!Cals_util.Cancel.Cancelled} to
     complete is re-raised in the caller after all domains stop claiming
@@ -101,6 +126,8 @@ val evaluate_k :
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
   ?session:Incremental.session ->
+  ?route_session:Cals_route.Router.Session.t ->
+  ?route_pool:Cals_util.Pool.t ->
   ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -117,6 +144,14 @@ val evaluate_k :
     served by {!Incremental.map} (whose strategy overrides [strategy]);
     the session must have been created from the same [subject],
     [positions] and library.
+
+    [route_session] and [route_pool] are handed to
+    {!Cals_route.Router.route_mapped} verbatim: the session replays
+    repeated route requests, the pool parallelizes rip-up waves (never
+    pass a pool this call itself runs on). Neither changes the result.
+    They are deliberately not derived from [session]; callers that want
+    the bundled route session pass
+    [~route_session:(Incremental.route_session s)] explicitly.
 
     [cancel] is checked on entry, between the map / place / route stages
     and inside the router; a fired token raises

@@ -44,6 +44,7 @@ type session = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   maps : int Atomic.t;
+  route_session : Cals_route.Router.Session.t;
 }
 
 let is_gate subject v =
@@ -127,6 +128,7 @@ let create ?options ~subject ~library ~positions () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     maps = Atomic.make 0;
+    route_session = Cals_route.Router.Session.create ();
   }
 
 let enumerate_tree session t =
@@ -202,6 +204,7 @@ let stats session =
 
 let partition session = session.partition
 let options session = session.options
+let route_session session = session.route_session
 
 let fingerprints session =
   Array.to_list (Array.map (fun t -> (t.root, t.fp)) session.trees)

@@ -88,6 +88,15 @@ val partition : session -> Partition.t
 val options : session -> Mapper.options
 (** The base options the session was created with. *)
 
+val route_session : session -> Cals_route.Router.Session.t
+(** The session's router companion: a {!Cals_route.Router.Session}
+    created alongside the match cache, so the K loop that reuses match
+    sets also replays unchanged route requests. {!Flow.evaluate_k}
+    threads it into the router automatically when it is given the
+    session; it shares the session's lifetime and invalidation story
+    (the flow never re-uses a session across subjects, so the route
+    cache can only ever see requests from one design). *)
+
 val fingerprints : session -> (int * int64) list
 (** [(root, fingerprint)] per tree, in root order — exposed for tests and
     diagnostics. *)

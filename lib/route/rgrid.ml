@@ -25,9 +25,9 @@ type edge =
   | H of int * int
   | V of int * int
 
-let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
-    () =
-  if layers < 2 then invalid_arg "Rgrid.create: need at least 2 metal layers";
+(* Grid geometry alone — shared with callers (the router's session) that
+   need gcell coordinates before any capacity array exists. *)
+let dims ~floorplan ~gcell_rows =
   let gcell_um = float_of_int gcell_rows *. floorplan.Floorplan.row_height in
   let cols =
     max 2 (int_of_float (ceil (floorplan.Floorplan.die_width /. gcell_um)))
@@ -35,6 +35,12 @@ let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
   let rows =
     max 2 (int_of_float (ceil (floorplan.Floorplan.die_height /. gcell_um)))
   in
+  (cols, rows, gcell_um)
+
+let create ~floorplan ~wire ~layers ?(gcell_rows = 2) ?(m1_free = 1.3) ?density
+    () =
+  if layers < 2 then invalid_arg "Rgrid.create: need at least 2 metal layers";
+  let cols, rows, gcell_um = dims ~floorplan ~gcell_rows in
   let tracks = gcell_um /. wire.Cals_cell.Library.pitch_um in
   (* Layers above M1 alternate directions and contribute their full track
      count; M1 contributes what the standard cells leave over, so local
@@ -153,6 +159,23 @@ let mark_overflowed t = function
 let is_overflowed t = function
   | H (c, r) -> bit_get t.hmark (hindex t c r)
   | V (c, r) -> bit_get t.vmark (vindex t c r)
+
+(* Flat-index variants of the mark operations, for the router's hot loops
+   (no edge constructor, no bounds re-derivation). *)
+let num_hedges t = (t.cols - 1) * t.rows
+let num_vedges t = t.cols * (t.rows - 1)
+let mark_h t i = bit_set t.hmark i
+let mark_v t i = bit_set t.vmark i
+let marked_h t i = bit_get t.hmark i
+let marked_v t i = bit_get t.vmark i
+
+let iter_overflowed t ~h ~v =
+  for i = 0 to num_hedges t - 1 do
+    if t.husage.(i) > t.hcap.(i) then h i
+  done;
+  for i = 0 to num_vedges t - 1 do
+    if t.vusage.(i) > t.vcap.(i) then v i
+  done
 
 let clear_overflow_marks t =
   Bytes.fill t.hmark 0 (Bytes.length t.hmark) '\000';

@@ -27,6 +27,13 @@ type edge =
   | H of int * int  (** [H (c, r)]: between gcells (c,r) and (c+1,r). *)
   | V of int * int  (** [V (c, r)]: between (c,r) and (c,r+1). *)
 
+val dims :
+  floorplan:Cals_place.Floorplan.t -> gcell_rows:int -> int * int * float
+(** [(cols, rows, gcell_um)] of the grid {!create} would build for this
+    floorplan — the geometry without the capacity arrays. The router's
+    session uses it to compute pin gcells (and fingerprint a route
+    request) before deciding whether a grid needs to exist at all. *)
+
 val create :
   floorplan:Cals_place.Floorplan.t ->
   wire:Cals_cell.Library.wire_model ->
@@ -90,6 +97,37 @@ val is_overflowed : t -> edge -> bool
 
 val clear_overflow_marks : t -> unit
 (** Zero the scratch bitfields for the next negotiation iteration. *)
+
+(** {2 Flat-index accessors}
+
+    The router's hot loops address edges by flat array index — horizontal
+    edge [(c, r)] at [r * (cols - 1) + c] of [hcap]/[husage]/[hhistory],
+    vertical [(c, r)] at [r * cols + c] — instead of allocating {!edge}
+    constructors. These variants operate on those indices directly; no
+    bounds checks beyond the underlying array's. *)
+
+val num_hedges : t -> int
+(** [(cols - 1) * rows], the length of the horizontal edge arrays. *)
+
+val num_vedges : t -> int
+(** [cols * (rows - 1)], the length of the vertical edge arrays. *)
+
+val mark_h : t -> int -> unit
+(** {!mark_overflowed} by flat horizontal index. *)
+
+val mark_v : t -> int -> unit
+(** {!mark_overflowed} by flat vertical index. *)
+
+val marked_h : t -> int -> bool
+(** {!is_overflowed} by flat horizontal index. *)
+
+val marked_v : t -> int -> bool
+(** {!is_overflowed} by flat vertical index. *)
+
+val iter_overflowed : t -> h:(int -> unit) -> v:(int -> unit) -> unit
+(** Call [h]/[v] with the flat index of every overflowed edge (usage
+    strictly above capacity), horizontal edges first, row-major — the
+    allocation-free counterpart of {!overflowed_edges}. *)
 
 val congestion_map : t -> Cals_util.Grid2d.t
 (** Per-gcell maximum of the utilizations of its incident edges. *)

@@ -1,5 +1,8 @@
 module Geom = Cals_util.Geom
-module Pqueue = Cals_util.Pqueue
+module Arena = Cals_util.Arena
+module Pool = Cals_util.Pool
+module Cancel = Cals_util.Cancel
+module Fnv = Cals_util.Tables.Fnv64
 module Mapped = Cals_netlist.Mapped
 module Probe = Cals_telemetry.Probe
 module Span = Cals_telemetry.Span
@@ -25,6 +28,22 @@ let g_overflow = Metrics.gauge ~help:"Total overflow after routing" "route_overf
 let g_max_utilization =
   Metrics.gauge ~help:"Peak gcell-edge utilization after routing"
     "route_max_utilization"
+
+let m_session_replays =
+  Metrics.counter ~help:"Route requests replayed whole from a session cache"
+    "router_session_replays"
+
+let m_session_nets_reused =
+  Metrics.counter ~help:"Nets served from a session cache (topology or full route)"
+    "router_session_nets_reused"
+
+let m_session_nets_rerouted =
+  Metrics.counter ~help:"Nets re-derived on a session cache miss"
+    "router_session_nets_rerouted"
+
+let g_session_arena =
+  Metrics.gauge ~help:"Arena bytes of the last released routing state"
+    "router_session_arena_bytes"
 
 type config = {
   layers : int;
@@ -66,111 +85,100 @@ type result = {
   net_gcells : (int * int) list array;
 }
 
+(* A segment's committed path lives as a slice [off, off+len) of flat edge
+   ids in the routing call's arena — no per-edge list cells on the OCaml
+   heap until the final result is built. Edge id encoding: with
+   [nh = (cols-1) * rows], id < nh is horizontal edge [r*(cols-1)+c],
+   otherwise [id - nh] is vertical edge [r*cols+c]. Slices are stored in
+   src-to-dst walk order. *)
 type seg_state = {
   net : int;
   ends : (int * int) * (int * int);
-  mutable path : Rgrid.edge list;
+  mutable off : int;
+  mutable len : int;
 }
 
-(* Cost of pushing one more track through [e]. *)
-let edge_cost cfg grid e =
-  let u = Rgrid.usage grid e and cap = Rgrid.capacity grid e in
-  let over = u +. 1.0 -. cap in
-  let congestion = if over > 0.0 then cfg.overflow_penalty *. over else 0.0 in
-  1.0 +. congestion +. Rgrid.history grid e
+(* Growable int vector over a plain array (indices, never floats). *)
+type vec = {
+  mutable a : int array;
+  mutable n : int;
+}
 
-(* Edges of a monotone staircase path through the given corner points.
-   One shared accumulator; no list appends. *)
-let edges_of_corners corners =
-  let rec straight (c1, r1) ((c2, r2) as dst) acc =
-    if c1 = c2 && r1 = r2 then acc
-    else if r1 = r2 then
-      let step = if c2 > c1 then 1 else -1 in
-      let edge_c = if step > 0 then c1 else c1 - 1 in
-      straight (c1 + step, r1) dst (Rgrid.H (edge_c, r1) :: acc)
-    else begin
-      let step = if r2 > r1 then 1 else -1 in
-      let edge_r = if step > 0 then r1 else r1 - 1 in
-      straight (c1, r1 + step) dst (Rgrid.V (c1, edge_r) :: acc)
-    end
-  in
-  let rec walk acc = function
-    | [] | [ _ ] -> acc
-    | a :: (b :: _ as rest) -> walk (straight a b acc) rest
-  in
-  walk [] corners
+let vec_make () = { a = Array.make 64 0; n = 0 }
+let vec_clear v = v.n <- 0
 
-(* Candidate pattern paths between two gcells: both Ls plus single-bend Z
-   shapes through the midpoint in each dimension. A Z whose midpoint
-   coincides with an endpoint duplicates an L and is skipped. *)
-let pattern_candidates (c1, r1) (c2, r2) =
-  let l1 = [ (c1, r1); (c2, r1); (c2, r2) ] in
-  let l2 = [ (c1, r1); (c1, r2); (c2, r2) ] in
-  let mid_c = (c1 + c2) / 2 and mid_r = (r1 + r2) / 2 in
-  let zs =
-    if mid_r <> r1 && mid_r <> r2 then
-      [ [ (c1, r1); (c1, mid_r); (c2, mid_r); (c2, r2) ] ]
-    else []
-  in
-  let zs =
-    if mid_c <> c1 && mid_c <> c2 then
-      [ (c1, r1); (mid_c, r1); (mid_c, r2); (c2, r2) ] :: zs
-    else zs
-  in
-  List.map edges_of_corners (l1 :: l2 :: zs)
+let vec_push v x =
+  if v.n = Array.length v.a then begin
+    let na = Array.make (2 * v.n) 0 in
+    Array.blit v.a 0 na 0 v.n;
+    v.a <- na
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
 
-let commit grid path = List.iter (fun e -> Rgrid.add_usage grid e 1.0) path
-let rip_up grid path = List.iter (fun e -> Rgrid.add_usage grid e (-1.0)) path
+(* Everything one routing call mutates besides the grid: the path arena
+   plus the negotiation work lists. Sessions pool these so repeated calls
+   reuse the same storage. *)
+type state = {
+  arena : Arena.t;
+  mutable pend : vec;  (** Segment indices crossing an overflowed edge. *)
+  mutable defer : vec;  (** Pending segments pushed to the next wave. *)
+  wave : vec;  (** Segment indices of the wave being processed. *)
+  rects : vec;  (** Four ints (c0 r0 c1 r1) per wave member. *)
+  mutable boxes : int array;
+      (** Four ints (c0 r0 c1 r1) per segment: the default search box,
+          precomputed once per negotiation — a pending segment is
+          re-tested against the open wave on every wave build, so the
+          box must be a read, not a computation. *)
+}
 
-(* Cost of [path], giving up as soon as the running sum reaches [cutoff]
-   (the best complete candidate so far), so losing candidates are only
-   costed up to the point where they lose. *)
-let path_cost_within cfg grid ~cutoff path =
-  let rec go acc = function
-    | [] -> acc
-    | e :: rest ->
-      let acc = acc +. edge_cost cfg grid e in
-      if acc >= cutoff then infinity else go acc rest
-  in
-  go 0.0 path
+let create_state () =
+  {
+    arena = Arena.create ~capacity:(1 lsl 16) ();
+    pend = vec_make ();
+    defer = vec_make ();
+    wave = vec_make ();
+    rects = vec_make ();
+    boxes = [||];
+  }
 
-let pattern_route cfg grid seg =
-  let a, b = seg.ends in
-  if a = b then seg.path <- []
-  else begin
-    let best_cost = ref infinity and best = ref [] in
-    List.iter
-      (fun path ->
-        let cost = path_cost_within cfg grid ~cutoff:!best_cost path in
-        if cost < !best_cost || !best = [] then begin
-          best_cost := cost;
-          best := path
-        end)
-      (pattern_candidates a b);
-    seg.path <- !best;
-    commit grid !best
-  end
+let reset_state st =
+  Arena.clear st.arena;
+  vec_clear st.pend;
+  vec_clear st.defer;
+  vec_clear st.wave;
+  vec_clear st.rects
 
-(* Reusable maze-route scratch state. [dist]/[prev] entries are valid only
-   when the cell's [stamp] equals the current generation, so consecutive
-   calls share the arrays without clearing them. *)
+(* Per-domain maze scratch: distance/backtrack stamps, the frontier heap
+   as parallel float/int arrays (floats only ever flow through these
+   arrays, so nothing boxes on the hot path) and the edge-id path buffer.
+   Domain-local storage gives each pool worker its own copy for free. *)
 type scratch = {
   mutable dist : float array;
   mutable prev : int array;
   mutable stamp : int array;
   mutable gen : int;
-  frontier : Pqueue.Int.t;
+  mutable qprio : float array;
+  mutable qdata : int array;
+  mutable qsize : int;
+  mutable pathbuf : int array;
+  mutable pathlen : int;
 }
 
-let create_scratch n =
-  let n = max 1 n in
+let create_scratch () =
   {
-    dist = Array.make n infinity;
-    prev = Array.make n (-1);
-    stamp = Array.make n 0;
+    dist = Array.make 1 infinity;
+    prev = Array.make 1 (-1);
+    stamp = Array.make 1 0;
     gen = 0;
-    frontier = Pqueue.Int.create ();
+    qprio = Array.make 256 0.0;
+    qdata = Array.make 256 0;
+    qsize = 0;
+    pathbuf = Array.make 256 0;
+    pathlen = 0;
   }
+
+let scratch_key = Domain.DLS.new_key create_scratch
 
 let ensure_scratch s n =
   if Array.length s.dist < n then begin
@@ -178,24 +186,65 @@ let ensure_scratch s n =
     s.prev <- Array.make n (-1);
     s.stamp <- Array.make n 0;
     s.gen <- 0
+  end;
+  if Array.length s.pathbuf < n then s.pathbuf <- Array.make n 0
+
+let heap_grow s =
+  let cap = Array.length s.qprio in
+  let np = Array.make (2 * cap) 0.0 and nd = Array.make (2 * cap) 0 in
+  Array.blit s.qprio 0 np 0 s.qsize;
+  Array.blit s.qdata 0 nd 0 s.qsize;
+  s.qprio <- np;
+  s.qdata <- nd
+
+(* Binary-heap maintenance over the parallel arrays. Only ints cross the
+   call boundary; float swaps stay in locals. The array types are spelled
+   out because without them inference leaves these functions polymorphic —
+   generic array gets that box every priority read. *)
+let rec heap_sift_up (qp : float array) (qd : int array) i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if qp.(i) < qp.(parent) then begin
+      let tp = qp.(i) and td = qd.(i) in
+      qp.(i) <- qp.(parent);
+      qd.(i) <- qd.(parent);
+      qp.(parent) <- tp;
+      qd.(parent) <- td;
+      heap_sift_up qp qd parent
+    end
   end
 
-(* A* over gcells. The heuristic is Manhattan distance times the minimum
-   edge cost (edge_cost >= 1.0), which is admissible and consistent, so
-   the first pop of the target is optimal — exactly Dijkstra's answer.
-   Stale queue entries (lazy decrease-key) satisfy f > dist + h and are
-   skipped. The inner loop indexes the grid's flat capacity/usage/history
-   arrays directly and pushes int cell indices into the unboxed queue, so
-   it allocates nothing; only the final backtrack builds a path. *)
-let maze_route cfg grid scratch (src, dst) =
+let rec heap_sift_down (qp : float array) (qd : int array) size i =
+  let l = (2 * i) + 1 in
+  if l < size then begin
+    let smallest = if l + 1 < size && qp.(l + 1) < qp.(l) then l + 1 else l in
+    if qp.(smallest) < qp.(i) then begin
+      let tp = qp.(i) and td = qd.(i) in
+      qp.(i) <- qp.(smallest);
+      qd.(i) <- qd.(smallest);
+      qp.(smallest) <- tp;
+      qd.(smallest) <- td;
+      heap_sift_down qp qd size smallest
+    end
+  end
+
+(* A* over gcells, restricted to the box [bc0,bc1] x [br0,br1] (which
+   always contains both endpoints). The heuristic is Manhattan distance
+   times the minimum edge cost (>= 1.0): admissible and consistent, so
+   the first pop of the target is Dijkstra's answer. Stale queue entries
+   (lazy decrease-key) satisfy f > dist + h and are skipped. Relaxation
+   and the heap push are fully inlined so no float ever crosses a
+   function boundary — the whole search allocates nothing. On success
+   the path's edge ids are left in [scratch.pathbuf] (dst-to-src order,
+   length [scratch.pathlen]). *)
+let maze_route cfg grid scratch ~bc0 ~br0 ~bc1 ~br1 (src, dst) =
   let cols = grid.Rgrid.cols and rows = grid.Rgrid.rows in
   let n = cols * rows in
   ensure_scratch scratch n;
   scratch.gen <- scratch.gen + 1;
   let gen = scratch.gen in
   let dist = scratch.dist and prev = scratch.prev and stamp = scratch.stamp in
-  let q = scratch.frontier in
-  Pqueue.Int.clear q;
+  scratch.qsize <- 0;
   let hcap = grid.Rgrid.hcap
   and husage = grid.Rgrid.husage
   and hhist = grid.Rgrid.hhistory in
@@ -203,30 +252,14 @@ let maze_route cfg grid scratch (src, dst) =
   and vusage = grid.Rgrid.vusage
   and vhist = grid.Rgrid.vhistory in
   let penalty = cfg.overflow_penalty in
-  let hedge_cost i =
-    let over = husage.(i) +. 1.0 -. hcap.(i) in
-    1.0 +. (if over > 0.0 then penalty *. over else 0.0) +. hhist.(i)
-  in
-  let vedge_cost i =
-    let over = vusage.(i) +. 1.0 -. vcap.(i) in
-    1.0 +. (if over > 0.0 then penalty *. over else 0.0) +. vhist.(i)
-  in
   let sc, sr = src and dc, dr = dst in
   let sidx = (sr * cols) + sc and didx = (dr * cols) + dc in
-  let h c r = float_of_int (abs (c - dc) + abs (r - dr)) in
-  let relax v g nidx nc nr edge_cost =
-    let cost = g +. edge_cost in
-    if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
-      dist.(nidx) <- cost;
-      stamp.(nidx) <- gen;
-      prev.(nidx) <- v;
-      Pqueue.Int.push q (cost +. h nc nr) nidx
-    end
-  in
   dist.(sidx) <- 0.0;
   stamp.(sidx) <- gen;
   prev.(sidx) <- -1;
-  Pqueue.Int.push q (h sc sr) sidx;
+  scratch.qprio.(0) <- float_of_int (abs (sc - dc) + abs (sr - dr));
+  scratch.qdata.(0) <- sidx;
+  scratch.qsize <- 1;
   (* Pops are counted in a local ref and published once per call, so the
      enabled path adds one predictable branch per pop and the disabled
      path costs a single flag read for the whole search. *)
@@ -234,25 +267,119 @@ let maze_route cfg grid scratch (src, dst) =
   let pops = ref 0 in
   let found = ref false in
   (try
-     while not (Pqueue.Int.is_empty q) do
-       let f = Pqueue.Int.min_prio q in
-       let v = Pqueue.Int.pop q in
+     while scratch.qsize > 0 do
+       let qp = scratch.qprio and qd = scratch.qdata in
+       let f = qp.(0) in
+       let v = qd.(0) in
+       let last = scratch.qsize - 1 in
+       qp.(0) <- qp.(last);
+       qd.(0) <- qd.(last);
+       scratch.qsize <- last;
+       if last > 0 then heap_sift_down qp qd last 0;
        if counting then incr pops;
        let c = v mod cols and r = v / cols in
        let g = dist.(v) in
-       if f <= g +. h c r then begin
+       if f <= g +. float_of_int (abs (c - dc) + abs (r - dr)) then begin
          if v = didx then begin
            found := true;
            raise Exit
          end;
-         if c + 1 < cols then
-           relax v g (v + 1) (c + 1) r (hedge_cost ((r * (cols - 1)) + c));
-         if c > 0 then
-           relax v g (v - 1) (c - 1) r (hedge_cost ((r * (cols - 1)) + c - 1));
-         if r + 1 < rows then
-           relax v g (v + cols) c (r + 1) (vedge_cost ((r * cols) + c));
-         if r > 0 then
-           relax v g (v - cols) c (r - 1) (vedge_cost (((r - 1) * cols) + c))
+         (* East. *)
+         if c < bc1 then begin
+           let i = (r * (cols - 1)) + c in
+           let over = husage.(i) +. 1.0 -. hcap.(i) in
+           let cost =
+             g +. 1.0
+             +. (if over > 0.0 then penalty *. over else 0.0)
+             +. hhist.(i)
+           in
+           let nidx = v + 1 in
+           if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
+             dist.(nidx) <- cost;
+             stamp.(nidx) <- gen;
+             prev.(nidx) <- v;
+             if scratch.qsize = Array.length scratch.qprio then
+               heap_grow scratch;
+             let qp = scratch.qprio and qd = scratch.qdata in
+             let j = scratch.qsize in
+             qp.(j) <- cost +. float_of_int (abs (c + 1 - dc) + abs (r - dr));
+             qd.(j) <- nidx;
+             scratch.qsize <- j + 1;
+             heap_sift_up qp qd j
+           end
+         end;
+         (* West. *)
+         if c > bc0 then begin
+           let i = (r * (cols - 1)) + c - 1 in
+           let over = husage.(i) +. 1.0 -. hcap.(i) in
+           let cost =
+             g +. 1.0
+             +. (if over > 0.0 then penalty *. over else 0.0)
+             +. hhist.(i)
+           in
+           let nidx = v - 1 in
+           if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
+             dist.(nidx) <- cost;
+             stamp.(nidx) <- gen;
+             prev.(nidx) <- v;
+             if scratch.qsize = Array.length scratch.qprio then
+               heap_grow scratch;
+             let qp = scratch.qprio and qd = scratch.qdata in
+             let j = scratch.qsize in
+             qp.(j) <- cost +. float_of_int (abs (c - 1 - dc) + abs (r - dr));
+             qd.(j) <- nidx;
+             scratch.qsize <- j + 1;
+             heap_sift_up qp qd j
+           end
+         end;
+         (* North. *)
+         if r < br1 then begin
+           let i = (r * cols) + c in
+           let over = vusage.(i) +. 1.0 -. vcap.(i) in
+           let cost =
+             g +. 1.0
+             +. (if over > 0.0 then penalty *. over else 0.0)
+             +. vhist.(i)
+           in
+           let nidx = v + cols in
+           if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
+             dist.(nidx) <- cost;
+             stamp.(nidx) <- gen;
+             prev.(nidx) <- v;
+             if scratch.qsize = Array.length scratch.qprio then
+               heap_grow scratch;
+             let qp = scratch.qprio and qd = scratch.qdata in
+             let j = scratch.qsize in
+             qp.(j) <- cost +. float_of_int (abs (c - dc) + abs (r + 1 - dr));
+             qd.(j) <- nidx;
+             scratch.qsize <- j + 1;
+             heap_sift_up qp qd j
+           end
+         end;
+         (* South. *)
+         if r > br0 then begin
+           let i = ((r - 1) * cols) + c in
+           let over = vusage.(i) +. 1.0 -. vcap.(i) in
+           let cost =
+             g +. 1.0
+             +. (if over > 0.0 then penalty *. over else 0.0)
+             +. vhist.(i)
+           in
+           let nidx = v - cols in
+           if stamp.(nidx) <> gen || cost < dist.(nidx) then begin
+             dist.(nidx) <- cost;
+             stamp.(nidx) <- gen;
+             prev.(nidx) <- v;
+             if scratch.qsize = Array.length scratch.qprio then
+               heap_grow scratch;
+             let qp = scratch.qprio and qd = scratch.qdata in
+             let j = scratch.qsize in
+             qp.(j) <- cost +. float_of_int (abs (c - dc) + abs (r - 1 - dr));
+             qd.(j) <- nidx;
+             scratch.qsize <- j + 1;
+             heap_sift_up qp qd j
+           end
+         end
        end
      done
    with Exit -> ());
@@ -260,112 +387,445 @@ let maze_route cfg grid scratch (src, dst) =
     Metrics.incr m_maze_calls;
     Metrics.add m_maze_pops !pops
   end;
-  if not !found then None
+  if not !found then false
   else begin
-    let rec backtrack v acc =
-      if v = sidx then acc
-      else begin
-        let p = prev.(v) in
-        let pc = p mod cols and pr = p / cols in
-        let c = v mod cols and r = v / cols in
-        let edge =
-          if pr = r then Rgrid.H (min pc c, r) else Rgrid.V (c, min pr r)
-        in
-        backtrack p (edge :: acc)
-      end
-    in
-    Some (backtrack didx [])
+    let nh = (cols - 1) * rows in
+    let pb = scratch.pathbuf in
+    let k = ref 0 in
+    let v = ref didx in
+    while !v <> sidx do
+      let p = prev.(!v) in
+      let pc = p mod cols and pr = p / cols in
+      let c = !v mod cols and r = !v / cols in
+      let eid =
+        if pr = r then (r * (cols - 1)) + min pc c
+        else nh + ((min pr r * cols) + c)
+      in
+      pb.(!k) <- eid;
+      incr k;
+      v := p
+    done;
+    scratch.pathlen <- !k;
+    true
   end
 
-let path_uses_overflow grid path = List.exists (Rgrid.is_overflowed grid) path
+(* Cost of a straight horizontal run of edges at row [r] between columns
+   [ca] and [cb], on top of [acc0], giving up (returning infinity) as
+   soon as the sum reaches [cutoff]: edge costs are >= 1.0, so prefix
+   sums are monotone and the early exit fires iff the total would lose
+   anyway. *)
+let hleg cfg grid ~cutoff acc0 r ca cb =
+  let lo = min ca cb and hi = max ca cb in
+  if lo = hi then acc0
+  else begin
+    let cols = grid.Rgrid.cols in
+    let husage = grid.Rgrid.husage
+    and hcap = grid.Rgrid.hcap
+    and hhist = grid.Rgrid.hhistory in
+    let penalty = cfg.overflow_penalty in
+    let base = r * (cols - 1) in
+    let acc = ref acc0 in
+    try
+      for c = lo to hi - 1 do
+        let i = base + c in
+        let over = husage.(i) +. 1.0 -. hcap.(i) in
+        acc :=
+          !acc +. 1.0
+          +. (if over > 0.0 then penalty *. over else 0.0)
+          +. hhist.(i);
+        if !acc >= cutoff then raise Exit
+      done;
+      !acc
+    with Exit -> infinity
+  end
 
-let route_pins ?(config = default_config) ?density
-    ?(cancel = Cals_util.Cancel.never) ~floorplan ~wire nets =
-  Span.with_ ~cat:"route"
-    ~meta:(Printf.sprintf "%d nets" (Array.length nets))
-    "route.route_pins"
-  @@ fun () ->
-  let grid =
-    Rgrid.create ~floorplan ~wire ~layers:config.layers
-      ~gcell_rows:config.gcell_rows ~m1_free:config.m1_free ?density ()
+let vleg cfg grid ~cutoff acc0 c ra rb =
+  let lo = min ra rb and hi = max ra rb in
+  if lo = hi then acc0
+  else begin
+    let cols = grid.Rgrid.cols in
+    let vusage = grid.Rgrid.vusage
+    and vcap = grid.Rgrid.vcap
+    and vhist = grid.Rgrid.vhistory in
+    let penalty = cfg.overflow_penalty in
+    let acc = ref acc0 in
+    try
+      for r = lo to hi - 1 do
+        let i = (r * cols) + c in
+        let over = vusage.(i) +. 1.0 -. vcap.(i) in
+        acc :=
+          !acc +. 1.0
+          +. (if over > 0.0 then penalty *. over else 0.0)
+          +. vhist.(i);
+        if !acc >= cutoff then raise Exit
+      done;
+      !acc
+    with Exit -> infinity
+  end
+
+(* Candidate pattern paths by code, preserving the historical order:
+   0 = L through (c2,r1), 1 = L through (c1,r2), 2 = Z bending at the
+   column midpoint, 3 = Z bending at the row midpoint. *)
+let pattern_cost cfg grid ~cutoff code (c1, r1) (c2, r2) =
+  match code with
+  | 0 ->
+    let a = hleg cfg grid ~cutoff 0.0 r1 c1 c2 in
+    if a = infinity then infinity else vleg cfg grid ~cutoff a c2 r1 r2
+  | 1 ->
+    let a = vleg cfg grid ~cutoff 0.0 c1 r1 r2 in
+    if a = infinity then infinity else hleg cfg grid ~cutoff a r2 c1 c2
+  | 2 ->
+    let mid_c = (c1 + c2) / 2 in
+    let a = hleg cfg grid ~cutoff 0.0 r1 c1 mid_c in
+    let a = if a = infinity then a else vleg cfg grid ~cutoff a mid_c r1 r2 in
+    if a = infinity then infinity else hleg cfg grid ~cutoff a r2 mid_c c2
+  | _ ->
+    let mid_r = (r1 + r2) / 2 in
+    let a = vleg cfg grid ~cutoff 0.0 c1 r1 mid_r in
+    let a = if a = infinity then a else hleg cfg grid ~cutoff a mid_r c1 c2 in
+    if a = infinity then infinity else vleg cfg grid ~cutoff a c2 mid_r r2
+
+(* Claim (or release) every edge of a committed slice directly on the
+   flat usage arrays. *)
+let add_usage_slice grid data nh off len delta =
+  let husage = grid.Rgrid.husage and vusage = grid.Rgrid.vusage in
+  for i = off to off + len - 1 do
+    let eid = Bigarray.Array1.get data i in
+    if eid < nh then husage.(eid) <- husage.(eid) +. delta
+    else begin
+      let j = eid - nh in
+      vusage.(j) <- vusage.(j) +. delta
+    end
+  done
+
+let slice_marked grid data nh off len =
+  let m = ref false in
+  let i = ref off in
+  let stop = off + len in
+  while (not !m) && !i < stop do
+    let eid = Bigarray.Array1.get data !i in
+    if eid < nh then begin
+      if Rgrid.marked_h grid eid then m := true
+    end
+    else if Rgrid.marked_v grid (eid - nh) then m := true;
+    incr i
+  done;
+  !m
+
+(* Emit the winning pattern path into the arena, src-to-dst, and commit
+   its usage. The length is the Manhattan span, known up front. *)
+let emit_pattern grid state seg code =
+  let (c1, r1), (c2, r2) = seg.ends in
+  let cols = grid.Rgrid.cols in
+  let nh = (cols - 1) * grid.Rgrid.rows in
+  let len = abs (c1 - c2) + abs (r1 - r2) in
+  let off = Arena.alloc state.arena len in
+  let data = Arena.data state.arena in
+  let o = ref off in
+  let hrun r cfrom cto =
+    let base = r * (cols - 1) in
+    if cto >= cfrom then
+      for c = cfrom to cto - 1 do
+        Bigarray.Array1.set data !o (base + c);
+        incr o
+      done
+    else
+      for c = cfrom - 1 downto cto do
+        Bigarray.Array1.set data !o (base + c);
+        incr o
+      done
   in
-  let num_nets = Array.length nets in
-  (* Build segments. *)
-  let segments = ref [] in
-  let net_gcells = Array.make num_nets [] in
-  Array.iteri
-    (fun net pins ->
-      let cells = List.map (Rgrid.gcell_of_point grid) pins in
-      net_gcells.(net) <- List.sort_uniq compare cells;
-      let segs =
-        if config.star_topology then
-          match cells with
-          | [] -> []
-          | driver :: rest -> Topology.star_segments driver rest
-        else Topology.mst_segments cells
-      in
-      List.iter
-        (fun s ->
-          segments :=
-            { net; ends = (s.Topology.src, s.Topology.dst); path = [] }
-            :: !segments)
-        segs)
-    nets;
-  let segments = Array.of_list (List.rev !segments) in
-  (* Initial pattern routing, long segments first (they are the hardest to
-     place once the grid fills up). *)
-  let order = Array.init (Array.length segments) (fun i -> i) in
-  Array.sort
-    (fun a b ->
-      let len s =
-        let (c1, r1), (c2, r2) = segments.(s).ends in
-        abs (c1 - c2) + abs (r1 - r2)
-      in
-      compare (len b) (len a))
-    order;
-  Cals_util.Cancel.check cancel;
-  Span.with_ ~cat:"route" "route.pattern" (fun () ->
-      Array.iter (fun i -> pattern_route config grid segments.(i)) order);
-  (* Negotiated rip-up and reroute. One scratch serves every maze call on
-     this grid; generation stamps make reuse free. *)
-  let scratch = create_scratch (grid.Rgrid.cols * grid.Rgrid.rows) in
-  let negotiate_token = Span.enter ~cat:"route" "route.negotiate" in
-  Fun.protect ~finally:(fun () -> Span.exit negotiate_token) @@ fun () ->
+  let vrun c rfrom rto =
+    if rto >= rfrom then
+      for r = rfrom to rto - 1 do
+        Bigarray.Array1.set data !o (nh + (r * cols) + c);
+        incr o
+      done
+    else
+      for r = rfrom - 1 downto rto do
+        Bigarray.Array1.set data !o (nh + (r * cols) + c);
+        incr o
+      done
+  in
+  (match code with
+  | 0 ->
+    hrun r1 c1 c2;
+    vrun c2 r1 r2
+  | 1 ->
+    vrun c1 r1 r2;
+    hrun r2 c1 c2
+  | 2 ->
+    let mid_c = (c1 + c2) / 2 in
+    hrun r1 c1 mid_c;
+    vrun mid_c r1 r2;
+    hrun r2 mid_c c2
+  | _ ->
+    let mid_r = (r1 + r2) / 2 in
+    vrun c1 r1 mid_r;
+    hrun mid_r c1 c2;
+    vrun c2 mid_r r2);
+  seg.off <- off;
+  seg.len <- len;
+  add_usage_slice grid data nh off len 1.0
+
+let pattern_route cfg grid state seg =
+  let ((c1, r1) as a), ((c2, r2) as b) = seg.ends in
+  if a = b then begin
+    seg.off <- 0;
+    seg.len <- 0
+  end
+  else begin
+    let mid_c = (c1 + c2) / 2 and mid_r = (r1 + r2) / 2 in
+    let best_code = ref 0 in
+    let best_cost = ref (pattern_cost cfg grid ~cutoff:infinity 0 a b) in
+    let consider code =
+      let c = pattern_cost cfg grid ~cutoff:!best_cost code a b in
+      if c < !best_cost then begin
+        best_cost := c;
+        best_code := code
+      end
+    in
+    consider 1;
+    if mid_c <> c1 && mid_c <> c2 then consider 2;
+    if mid_r <> r1 && mid_r <> r2 then consider 3;
+    emit_pattern grid state seg !best_code
+  end
+
+(* Search box of a segment: the endpoints' bounding rectangle inflated by
+   a margin that grows with the span, clamped to the grid. The box always
+   contains a monotone staircase between the endpoints, so a bounded maze
+   search inside it cannot fail. *)
+let seg_margin seg =
+  let (c1, r1), (c2, r2) = seg.ends in
+  2 + ((abs (c1 - c2) + abs (r1 - r2)) / 4)
+
+let seg_box grid seg m =
+  let (c1, r1), (c2, r2) = seg.ends in
+  let bc0 = max 0 (min c1 c2 - m)
+  and br0 = max 0 (min r1 r2 - m)
+  and bc1 = min (grid.Rgrid.cols - 1) (max c1 c2 + m)
+  and br1 = min (grid.Rgrid.rows - 1) (max r1 r2 + m) in
+  (bc0, br0, bc1, br1)
+
+(* Copy the scratch path buffer (dst-to-src) into the segment's slice,
+   reversed to src-to-dst — in place when the new path fits the old
+   slice, else appended to the arena. *)
+let commit_scratch_path state seg scratch =
+  let len = scratch.pathlen in
+  if len <= seg.len then begin
+    let data = Arena.data state.arena in
+    for i = 0 to len - 1 do
+      Bigarray.Array1.set data (seg.off + i) scratch.pathbuf.(len - 1 - i)
+    done;
+    seg.len <- len
+  end
+  else begin
+    let off = Arena.alloc state.arena len in
+    let data = Arena.data state.arena in
+    for i = 0 to len - 1 do
+      Bigarray.Array1.set data (off + i) scratch.pathbuf.(len - 1 - i)
+    done;
+    seg.off <- off;
+    seg.len <- len
+  end
+
+(* Greedy wave construction: walk the pending list in order, accept a
+   segment when its search box is disjoint from every box already in the
+   wave (the first is always accepted), defer the rest. Disjoint boxes
+   plus the deferred-commit protocol below make the wave's outcome
+   independent of search order, hence of the pool. *)
+let build_wave state =
+  vec_clear state.wave;
+  vec_clear state.rects;
+  vec_clear state.defer;
+  let boxes = state.boxes in
+  for k = 0 to state.pend.n - 1 do
+    let si = state.pend.a.(k) in
+    let bx = 4 * si in
+    let bc0 = boxes.(bx)
+    and br0 = boxes.(bx + 1)
+    and bc1 = boxes.(bx + 2)
+    and br1 = boxes.(bx + 3) in
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < state.wave.n do
+      let b = 4 * !j in
+      let oc0 = state.rects.a.(b)
+      and or0 = state.rects.a.(b + 1)
+      and oc1 = state.rects.a.(b + 2)
+      and or1 = state.rects.a.(b + 3) in
+      if not (bc1 < oc0 || oc1 < bc0 || br1 < or0 || or1 < br0) then ok := false;
+      incr j
+    done;
+    if !ok then begin
+      vec_push state.wave si;
+      vec_push state.rects bc0;
+      vec_push state.rects br0;
+      vec_push state.rects bc1;
+      vec_push state.rects br1
+    end
+    else vec_push state.defer si
+  done;
+  let t = state.pend in
+  state.pend <- state.defer;
+  state.defer <- t
+
+(* A wave member whose in-box search failed (defensive — see seg_box) is
+   retried sequentially with the margin doubling until the box covers the
+   whole grid; a full-grid failure restores the old path. Runs after the
+   wave's commits, so it sees the same grid in both execution modes. *)
+let reroute_fallback cfg grid cancel state seg =
+  let cols = grid.Rgrid.cols and rows = grid.Rgrid.rows in
+  let nh = (cols - 1) * rows in
+  let scratch = Domain.DLS.get scratch_key in
+  let rec attempt m =
+    Cancel.check cancel;
+    let bc0, br0, bc1, br1 = seg_box grid seg m in
+    if maze_route cfg grid scratch ~bc0 ~br0 ~bc1 ~br1 seg.ends then true
+    else if bc0 = 0 && br0 = 0 && bc1 = cols - 1 && br1 = rows - 1 then false
+    else attempt (2 * m)
+  in
+  if attempt (2 * seg_margin seg) then commit_scratch_path state seg scratch;
+  let data = Arena.data state.arena in
+  add_usage_slice grid data nh seg.off seg.len 1.0
+
+(* One wave: rip up every member, search them all against the resulting
+   frozen grid (in parallel when a pool is given — commits are deferred
+   past the barrier, so the search results cannot depend on ordering),
+   then commit sequentially in wave order. *)
+let process_wave cfg grid cancel pool state segs =
+  let nw = state.wave.n in
+  Metrics.add m_rerouted nw;
+  let nh = Rgrid.num_hedges grid in
+  let data = Arena.data state.arena in
+  for k = 0 to nw - 1 do
+    let seg = segs.(state.wave.a.(k)) in
+    add_usage_slice grid data nh seg.off seg.len (-1.0)
+  done;
+  let search k =
+    Cancel.check cancel;
+    let seg = segs.(state.wave.a.(k)) in
+    let b = 4 * k in
+    let bc0 = state.rects.a.(b)
+    and br0 = state.rects.a.(b + 1)
+    and bc1 = state.rects.a.(b + 2)
+    and br1 = state.rects.a.(b + 3) in
+    let scratch = Domain.DLS.get scratch_key in
+    if maze_route cfg grid scratch ~bc0 ~br0 ~bc1 ~br1 seg.ends then begin
+      let len = scratch.pathlen in
+      let path = Array.make len 0 in
+      for i = 0 to len - 1 do
+        path.(i) <- scratch.pathbuf.(len - 1 - i)
+      done;
+      Some path
+    end
+    else None
+  in
+  let results =
+    match pool with
+    | Some p when nw > 1 ->
+      Pool.map_array p ~f:(fun k () -> search k) (Array.make nw ())
+    | _ -> Array.init nw search
+  in
+  for k = 0 to nw - 1 do
+    let seg = segs.(state.wave.a.(k)) in
+    match results.(k) with
+    | Some path ->
+      let n = Array.length path in
+      if n <= seg.len then begin
+        let data = Arena.data state.arena in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.set data (seg.off + i) path.(i)
+        done;
+        seg.len <- n
+      end
+      else begin
+        let off = Arena.alloc state.arena n in
+        let data = Arena.data state.arena in
+        for i = 0 to n - 1 do
+          Bigarray.Array1.set data (off + i) path.(i)
+        done;
+        seg.off <- off;
+        seg.len <- n
+      end;
+      let data = Arena.data state.arena in
+      add_usage_slice grid data nh seg.off seg.len 1.0
+    | None -> reroute_fallback cfg grid cancel state seg
+  done
+
+let negotiate cfg grid cancel pool state segs =
+  let nh = Rgrid.num_hedges grid in
+  let hinc = cfg.history_increment in
+  (* Default search boxes, once per negotiation: endpoints and margins
+     never change (the fallback's widened boxes stay local to it). *)
+  let nsegs = Array.length segs in
+  if Array.length state.boxes < 4 * nsegs then
+    state.boxes <- Array.make (4 * nsegs) 0;
+  let boxes = state.boxes in
+  for si = 0 to nsegs - 1 do
+    let bc0, br0, bc1, br1 = seg_box grid segs.(si) (seg_margin segs.(si)) in
+    let bx = 4 * si in
+    boxes.(bx) <- bc0;
+    boxes.(bx + 1) <- br0;
+    boxes.(bx + 2) <- bc1;
+    boxes.(bx + 3) <- br1
+  done;
   let iteration = ref 0 in
-  while !iteration < config.reroute_iterations && Rgrid.total_overflow grid > 0.0 do
-    Cals_util.Cancel.check cancel;
+  while
+    !iteration < cfg.reroute_iterations && Rgrid.total_overflow grid > 0.0
+  do
+    Cancel.check cancel;
     incr iteration;
     Metrics.incr m_ripup_iterations;
     Metrics.observe m_overflow_per_iteration (Rgrid.total_overflow grid);
     Rgrid.clear_overflow_marks grid;
-    List.iter
-      (fun e ->
-        Rgrid.mark_overflowed grid e;
-        Rgrid.add_history grid e config.history_increment)
-      (Rgrid.overflowed_edges grid);
-    Array.iter
-      (fun seg ->
-        if seg.path <> [] && path_uses_overflow grid seg.path then begin
-          Cals_util.Cancel.check cancel;
-          rip_up grid seg.path;
-          Metrics.incr m_rerouted;
-          match maze_route config grid scratch seg.ends with
-          | Some path ->
-            seg.path <- path;
-            commit grid path
-          | None ->
-            (* Should not happen on a connected grid; restore. *)
-            commit grid seg.path
-        end)
-      segments
-  done;
+    let hh = grid.Rgrid.hhistory and vh = grid.Rgrid.vhistory in
+    Rgrid.iter_overflowed grid
+      ~h:(fun i ->
+        Rgrid.mark_h grid i;
+        hh.(i) <- hh.(i) +. hinc)
+      ~v:(fun i ->
+        Rgrid.mark_v grid i;
+        vh.(i) <- vh.(i) +. hinc);
+    vec_clear state.pend;
+    let data = Arena.data state.arena in
+    Array.iteri
+      (fun si seg ->
+        if seg.len > 0 && slice_marked grid data nh seg.off seg.len then
+          vec_push state.pend si)
+      segs;
+    while state.pend.n > 0 do
+      Cancel.check cancel;
+      build_wave state;
+      process_wave cfg grid cancel pool state segs
+    done
+  done
+
+let build_result grid state segments net_gcells num_nets =
+  let cols = grid.Rgrid.cols in
+  let nh = Rgrid.num_hedges grid in
+  let data = Arena.data state.arena in
+  let edge_of_id eid =
+    if eid < nh then Rgrid.H (eid mod (cols - 1), eid / (cols - 1))
+    else begin
+      let j = eid - nh in
+      Rgrid.V (j mod cols, j / cols)
+    end
+  in
   let net_length = Array.make num_nets 0.0 in
-  Array.iter
-    (fun seg ->
-      net_length.(seg.net) <-
-        net_length.(seg.net)
-        +. (float_of_int (List.length seg.path) *. grid.Rgrid.gcell_um))
-    segments;
+  let routes =
+    Array.map
+      (fun seg ->
+        net_length.(seg.net) <-
+          net_length.(seg.net)
+          +. (float_of_int seg.len *. grid.Rgrid.gcell_um);
+        let edges = ref [] in
+        for i = seg.off + seg.len - 1 downto seg.off do
+          edges := edge_of_id (Bigarray.Array1.get data i) :: !edges
+        done;
+        { net = seg.net; gends = seg.ends; edges = !edges })
+      segments
+  in
   let wirelength = Array.fold_left ( +. ) 0.0 net_length in
   let overflow = Rgrid.total_overflow grid in
   let max_util = Rgrid.max_utilization grid in
@@ -380,12 +840,330 @@ let route_pins ?(config = default_config) ?density
     num_nets;
     num_segments = Array.length segments;
     net_length_um = net_length;
-    routes =
-      Array.map
-        (fun seg -> { net = seg.net; gends = seg.ends; edges = seg.path })
-        segments;
+    routes;
     net_gcells;
   }
+
+let derive_topology ~star ~driver cells =
+  if star then Topology.star_segments driver cells
+  else Topology.mst_segments_sorted cells
+
+let float_bits f = Int64.to_int (Int64.bits_of_float f)
+
+(* Fingerprint of everything a route_pins call's result depends on: grid
+   geometry, config, wire pitch, density contents and the per-net gcell
+   sets (plus star drivers). Two calls with equal fingerprints route to
+   bit-identical results, because routing is deterministic in exactly
+   these inputs. *)
+let fingerprint ~config ~cols ~rows ~gcell_um ~wire ~density net_gcells
+    drivers =
+  let h = ref (Fnv.int Fnv.empty 0x726f757465) in
+  h := Fnv.int !h cols;
+  h := Fnv.int !h rows;
+  h := Fnv.int !h (float_bits gcell_um);
+  h := Fnv.int !h config.layers;
+  h := Fnv.int !h config.gcell_rows;
+  h := Fnv.int !h (float_bits config.m1_free);
+  h := Fnv.int !h (if config.star_topology then 1 else 0);
+  h := Fnv.int !h config.reroute_iterations;
+  h := Fnv.int !h (float_bits config.overflow_penalty);
+  h := Fnv.int !h (float_bits config.history_increment);
+  h := Fnv.int !h (float_bits wire.Cals_cell.Library.pitch_um);
+  (match density with
+  | None -> h := Fnv.int !h 0
+  | Some g ->
+    h := Fnv.int !h 1;
+    h := Fnv.int !h (Cals_util.Grid2d.cols g);
+    h := Fnv.int !h (Cals_util.Grid2d.rows g);
+    h :=
+      Cals_util.Grid2d.fold
+        (fun _ _ v acc -> Fnv.int acc (float_bits v))
+        g !h);
+  h := Fnv.int !h (Array.length net_gcells);
+  Array.iteri
+    (fun i cells ->
+      h := Fnv.int !h (List.length cells);
+      List.iter (fun (c, r) -> h := Fnv.int (Fnv.int !h c) r) cells;
+      if config.star_topology then
+        match drivers.(i) with
+        | Some (c, r) -> h := Fnv.int (Fnv.int (Fnv.int !h 1) c) r
+        | None -> h := Fnv.int !h 0)
+    net_gcells;
+  !h
+
+module Session = struct
+  type entry =
+    | Done of result
+    | Inflight
+
+  type stats = {
+    route_calls : int;
+    replays : int;
+    nets_reused : int;
+    nets_rerouted : int;
+    arena_bytes : int;
+  }
+
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    full : (int64, entry) Hashtbl.t;
+    topo : (int64, Topology.segment list) Hashtbl.t;
+    states : state Queue.t;
+    route_calls : int Atomic.t;
+    replays : int Atomic.t;
+    nets_reused : int Atomic.t;
+    nets_rerouted : int Atomic.t;
+    arena_peak : int Atomic.t;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      full = Hashtbl.create 16;
+      topo = Hashtbl.create 64;
+      states = Queue.create ();
+      route_calls = Atomic.make 0;
+      replays = Atomic.make 0;
+      nets_reused = Atomic.make 0;
+      nets_rerouted = Atomic.make 0;
+      arena_peak = Atomic.make 0;
+    }
+
+  let note_call s = Atomic.incr s.route_calls
+
+  let note_replay s ~nets =
+    Atomic.incr s.replays;
+    ignore (Atomic.fetch_and_add s.nets_reused nets);
+    Metrics.incr m_session_replays;
+    Metrics.add m_session_nets_reused nets
+
+  (* Look the fingerprint up; [Some r] replays, [None] means this caller
+     inserted the Inflight marker and owns the cold route (it must
+     publish or retract). A concurrent caller with the same fingerprint
+     waits instead of routing the same request twice. *)
+  let claim s fp =
+    Mutex.lock s.lock;
+    let rec loop () =
+      match Hashtbl.find_opt s.full fp with
+      | Some (Done r) ->
+        Mutex.unlock s.lock;
+        Some r
+      | Some Inflight ->
+        Condition.wait s.cond s.lock;
+        loop ()
+      | None ->
+        Hashtbl.replace s.full fp Inflight;
+        Mutex.unlock s.lock;
+        None
+    in
+    loop ()
+
+  let publish s fp r =
+    Mutex.lock s.lock;
+    Hashtbl.replace s.full fp (Done r);
+    Condition.broadcast s.cond;
+    Mutex.unlock s.lock
+
+  let retract s fp =
+    Mutex.lock s.lock;
+    (match Hashtbl.find_opt s.full fp with
+    | Some Inflight -> Hashtbl.remove s.full fp
+    | _ -> ());
+    Condition.broadcast s.cond;
+    Mutex.unlock s.lock
+
+  let acquire_state s =
+    Mutex.lock s.lock;
+    let st =
+      if Queue.is_empty s.states then create_state () else Queue.pop s.states
+    in
+    Mutex.unlock s.lock;
+    reset_state st;
+    st
+
+  let release_state s st =
+    let bytes = Arena.capacity_bytes st.arena in
+    let rec bump () =
+      let cur = Atomic.get s.arena_peak in
+      if bytes > cur && not (Atomic.compare_and_set s.arena_peak cur bytes)
+      then bump ()
+    in
+    bump ();
+    Metrics.set g_session_arena (float_of_int bytes);
+    reset_state st;
+    Mutex.lock s.lock;
+    Queue.push st s.states;
+    Mutex.unlock s.lock
+
+  let topo_key ~star ~driver cells =
+    let h = ref (Fnv.int Fnv.empty (if star then 1 else 0)) in
+    (if star then begin
+       let dc, dr = driver in
+       h := Fnv.int (Fnv.int !h dc) dr
+     end);
+    List.iter (fun (c, r) -> h := Fnv.int (Fnv.int !h c) r) cells;
+    !h
+
+  (* The per-net decomposition cache: keyed by the gcell set (every key
+     element is a pair, so the flattened stream is self-delimiting) plus
+     the star flag and driver. Collisions would need two nets with
+     FNV-colliding gcell streams inside one session — accepted, as for
+     the K-loop's fingerprint cache. *)
+  let topo_segments s ~star ~driver cells =
+    let key = topo_key ~star ~driver cells in
+    Mutex.lock s.lock;
+    let cached = Hashtbl.find_opt s.topo key in
+    Mutex.unlock s.lock;
+    match cached with
+    | Some segs ->
+      Atomic.incr s.nets_reused;
+      Metrics.incr m_session_nets_reused;
+      segs
+    | None ->
+      let segs = derive_topology ~star ~driver cells in
+      Mutex.lock s.lock;
+      if not (Hashtbl.mem s.topo key) then Hashtbl.add s.topo key segs;
+      Mutex.unlock s.lock;
+      Atomic.incr s.nets_rerouted;
+      Metrics.incr m_session_nets_rerouted;
+      segs
+
+  let invalidate s =
+    Mutex.lock s.lock;
+    Hashtbl.filter_map_inplace
+      (fun _ e ->
+        match e with
+        | Done _ -> None
+        | Inflight -> Some e)
+      s.full;
+    Hashtbl.reset s.topo;
+    Mutex.unlock s.lock
+
+  let stats s =
+    {
+      route_calls = Atomic.get s.route_calls;
+      replays = Atomic.get s.replays;
+      nets_reused = Atomic.get s.nets_reused;
+      nets_rerouted = Atomic.get s.nets_rerouted;
+      arena_bytes = Atomic.get s.arena_peak;
+    }
+
+  let warm_hit_rate (st : stats) =
+    if st.route_calls = 0 then 0.0
+    else float_of_int st.replays /. float_of_int st.route_calls
+end
+
+let route_cold ~config ~density ~cancel ~pool ~session ~floorplan ~wire ~state
+    net_gcells drivers =
+  let grid =
+    Rgrid.create ~floorplan ~wire ~layers:config.layers
+      ~gcell_rows:config.gcell_rows ~m1_free:config.m1_free ?density ()
+  in
+  let num_nets = Array.length net_gcells in
+  let segments = ref [] in
+  Array.iteri
+    (fun net cells ->
+      let topo =
+        if cells = [] then []
+        else begin
+          let driver =
+            match drivers.(net) with
+            | Some d -> d
+            | None -> assert false
+          in
+          match session with
+          | Some s ->
+            Session.topo_segments s ~star:config.star_topology ~driver cells
+          | None -> derive_topology ~star:config.star_topology ~driver cells
+        end
+      in
+      List.iter
+        (fun sgm ->
+          segments :=
+            { net; ends = (sgm.Topology.src, sgm.Topology.dst); off = 0; len = 0 }
+            :: !segments)
+        topo)
+    net_gcells;
+  let segments = Array.of_list (List.rev !segments) in
+  (* Initial pattern routing, long segments first (they are the hardest to
+     place once the grid fills up). *)
+  let order = Array.init (Array.length segments) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let len s =
+        let (c1, r1), (c2, r2) = segments.(s).ends in
+        abs (c1 - c2) + abs (r1 - r2)
+      in
+      compare (len b) (len a))
+    order;
+  Cancel.check cancel;
+  Span.with_ ~cat:"route" "route.pattern" (fun () ->
+      Array.iter (fun i -> pattern_route config grid state segments.(i)) order);
+  let negotiate_token = Span.enter ~cat:"route" "route.negotiate" in
+  Fun.protect ~finally:(fun () -> Span.exit negotiate_token) @@ fun () ->
+  negotiate config grid cancel pool state segments;
+  build_result grid state segments net_gcells num_nets
+
+let route_pins ?(config = default_config) ?density ?(cancel = Cancel.never)
+    ?session ?pool ~floorplan ~wire nets =
+  Span.with_ ~cat:"route"
+    ~meta:(Printf.sprintf "%d nets" (Array.length nets))
+    "route.route_pins"
+  @@ fun () ->
+  let num_nets = Array.length nets in
+  let cols, rows, gcell_um =
+    Rgrid.dims ~floorplan ~gcell_rows:config.gcell_rows
+  in
+  (* Pin gcells before any grid exists — same clamp as
+     Rgrid.gcell_of_point, so a later grid agrees exactly. *)
+  let gcell_of p =
+    let c = int_of_float (p.Geom.x /. gcell_um) in
+    let r = int_of_float (p.Geom.y /. gcell_um) in
+    let c = if c < 0 then 0 else if c >= cols then cols - 1 else c in
+    let r = if r < 0 then 0 else if r >= rows then rows - 1 else r in
+    (c, r)
+  in
+  let net_gcells = Array.make num_nets [] in
+  let drivers = Array.make num_nets None in
+  Array.iteri
+    (fun net pins ->
+      let cells = List.map gcell_of pins in
+      (match cells with
+      | d :: _ -> drivers.(net) <- Some d
+      | [] -> ());
+      net_gcells.(net) <- List.sort_uniq compare cells)
+    nets;
+  match session with
+  | None ->
+    route_cold ~config ~density ~cancel ~pool ~session:None ~floorplan ~wire
+      ~state:(create_state ()) net_gcells drivers
+  | Some s ->
+    Cancel.check cancel;
+    Session.note_call s;
+    let fp =
+      fingerprint ~config ~cols ~rows ~gcell_um ~wire ~density net_gcells
+        drivers
+    in
+    (match Session.claim s fp with
+    | Some r ->
+      Session.note_replay s ~nets:num_nets;
+      r
+    | None -> (
+      let state = Session.acquire_state s in
+      match
+        route_cold ~config ~density ~cancel ~pool ~session:(Some s)
+          ~floorplan ~wire ~state net_gcells drivers
+      with
+      | r ->
+        Session.release_state s state;
+        Session.publish s fp r;
+        r
+      | exception e ->
+        Session.release_state s state;
+        Session.retract s fp;
+        raise e))
 
 (* Cell-area fraction per gcell, for the M1 blockage model. *)
 let density_map ?(config = default_config) mapped ~floorplan
@@ -415,7 +1193,8 @@ let density_map ?(config = default_config) mapped ~floorplan
   Cals_util.Grid2d.map_inplace (fun a -> a /. (gcell_um *. gcell_um)) g;
   g
 
-let route_mapped ?config ?cancel mapped ~floorplan ~wire ~placement =
+let route_mapped ?config ?cancel ?session ?pool mapped ~floorplan ~wire
+    ~placement =
   let density = density_map ?config mapped ~floorplan ~placement in
   let nets = Mapped.nets mapped in
   let pos_of_signal = function
@@ -435,4 +1214,5 @@ let route_mapped ?config ?cancel mapped ~floorplan ~wire ~placement =
           pos_of_signal net.Mapped.driver :: List.map sink_pos sinks)
       nets
   in
-  route_pins ?config ~density ?cancel ~floorplan ~wire pin_clusters
+  route_pins ?config ~density ?cancel ?session ?pool ~floorplan ~wire
+    pin_clusters

@@ -4,7 +4,13 @@
     pattern routing (L and Z shapes) → negotiated maze rip-up & reroute of
     segments crossing overflowed edges. The residual total overflow is the
     repo's stand-in for the "number of routing violations" that Silicon
-    Ensemble reports in the paper's tables. *)
+    Ensemble reports in the paper's tables.
+
+    Committed paths live in a flat integer arena rather than per-edge
+    list cells, the maze search runs over preallocated flat arrays, and
+    rip-up proceeds in waves of segments with disjoint search boxes so
+    the searches of one wave can run on a {!Cals_util.Pool} without
+    changing the result (see DESIGN.md, Section 4j). *)
 
 type config = {
   layers : int;  (** Metal layers (the paper uses 3). *)
@@ -43,10 +49,53 @@ type result = {
           segments must connect). *)
 }
 
+(** Cross-call routing state: a replay cache over whole route requests, a
+    per-net topology cache and a pool of reusable arenas.
+
+    A session fingerprints each {!route_pins} request (grid geometry,
+    config, wire pitch, density contents, per-net gcell sets) and replays
+    the stored {!result} on an exact match — the common case when the
+    K-loop re-evaluates an unchanged mapping. Replayed results are shared
+    structure: treat them as immutable. Misses run the normal cold path
+    (so a warm session is result-identical to no session by
+    construction) and additionally reuse cached per-net MST/star
+    decompositions for nets whose gcell sets reappear.
+
+    All operations are domain-safe; concurrent calls with the same
+    fingerprint dedupe in flight (the second caller waits for the first
+    result instead of routing twice). *)
+module Session : sig
+  type t
+
+  type stats = {
+    route_calls : int;  (** {!route_pins} calls made with this session. *)
+    replays : int;  (** Calls answered whole from the replay cache. *)
+    nets_reused : int;
+        (** Nets served from a cache: replayed wholesale or with a
+            reused topology decomposition. *)
+    nets_rerouted : int;  (** Nets whose decomposition was re-derived. *)
+    arena_bytes : int;  (** Peak arena capacity over released states. *)
+  }
+
+  val create : unit -> t
+
+  val invalidate : t -> unit
+  (** Drop every cached result and topology (arenas are kept). Callers
+      use this when something outside the fingerprint changes; in-flight
+      computations are unaffected and republish on completion. *)
+
+  val stats : t -> stats
+
+  val warm_hit_rate : stats -> float
+  (** [replays / route_calls] (0 when no calls were made). *)
+end
+
 val route_pins :
   ?config:config ->
   ?density:Cals_util.Grid2d.t ->
   ?cancel:Cals_util.Cancel.t ->
+  ?session:Session.t ->
+  ?pool:Cals_util.Pool.t ->
   floorplan:Cals_place.Floorplan.t ->
   wire:Cals_cell.Library.wire_model ->
   Cals_util.Geom.point list array ->
@@ -55,16 +104,27 @@ val route_pins :
     than two distinct gcells cost no routing). [density] feeds the M1
     blockage model (see {!Rgrid.create}).
 
+    [session] carries committed routes and scratch arenas between calls
+    (see {!Session}); without one, every call routes cold into a private
+    arena. [pool] parallelizes the maze searches of each rip-up wave;
+    the result is identical with or without it, because waves commit
+    deferred and in a fixed order. Do not pass a pool whose workers are
+    the callers of this function (the pool is not reentrant).
+
     [cancel] (default {!Cals_util.Cancel.never}) is checked before the
     pattern phase, at the top of every negotiation iteration and before
     every ripped-up segment's maze search; a fired token unwinds with
-    {!Cals_util.Cancel.Cancelled}, leaving only the result unbuilt (the
-    grid is scratch state owned by this call). This is the router half
-    of the deadline propagation the batch service relies on. *)
+    {!Cals_util.Cancel.Cancelled}, leaving only the result unbuilt and
+    any session state released (arenas are reset on their way back to
+    the session's pool, so a cancelled call leaks nothing). This is the
+    router half of the deadline propagation the batch service relies
+    on. *)
 
 val route_mapped :
   ?config:config ->
   ?cancel:Cals_util.Cancel.t ->
+  ?session:Session.t ->
+  ?pool:Cals_util.Pool.t ->
   Cals_netlist.Mapped.t ->
   floorplan:Cals_place.Floorplan.t ->
   wire:Cals_cell.Library.wire_model ->
@@ -73,7 +133,7 @@ val route_mapped :
 (** Nets in {!Cals_netlist.Mapped.nets} order, so [net_length_um] can be
     indexed by {!Cals_netlist.Mapped.signal_index}. The placement's cell
     density is folded into the M1 blockage model automatically.
-    [cancel] is forwarded to {!route_pins}. *)
+    [cancel], [session] and [pool] are forwarded to {!route_pins}. *)
 
 val density_map :
   ?config:config ->

@@ -5,8 +5,10 @@ type segment = {
 
 let manhattan (c1, r1) (c2, r2) = abs (c1 - c2) + abs (r1 - r2)
 
-let mst_segments pins =
-  let pins = List.sort_uniq compare pins in
+(* Prim over pins that are already distinct and sorted — the router holds
+   them in that form (its per-net gcell lists), so re-sorting here would
+   be pure waste on the hot path. *)
+let mst_segments_sorted pins =
   match pins with
   | [] | [ _ ] -> []
   | first :: _ ->
@@ -40,6 +42,8 @@ let mst_segments pins =
       done
     done;
     List.rev !segments
+
+let mst_segments pins = mst_segments_sorted (List.sort_uniq compare pins)
 
 let segment_length s = manhattan s.src s.dst
 

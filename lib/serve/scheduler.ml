@@ -363,8 +363,9 @@ let run_schedule ~cancel ~checks ~design schedule =
     | k :: rest ->
       Cancel.check cancel;
       let iteration, (mapped, _placement, _routing) =
-        Flow.evaluate_k ~checks ~session ~cancel ~subject ~library ~floorplan
-          ~positions ~k ()
+        Flow.evaluate_k ~checks ~session
+          ~route_session:(Incremental.route_session session)
+          ~cancel ~subject ~library ~floorplan ~positions ~k ()
       in
       if Congestion.acceptable iteration.Flow.report then begin
         if checks = Check.Cheap then

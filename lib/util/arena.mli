@@ -1,0 +1,49 @@
+(** Growable flat integer arena backed by a [Bigarray].
+
+    A bump allocator for variable-length integer records (the router's
+    committed edge-id paths): [alloc] hands out a contiguous slice at the
+    end, [clear] recycles the whole arena in O(1), and the backing store
+    survives between uses, so a long-lived owner (a router session) pays
+    for the buffer once instead of re-allocating scratch on every call.
+    The Bigarray lives outside the OCaml heap: slices written here are
+    invisible to the GC, which is the point — path storage stops being
+    minor-heap churn.
+
+    Not domain-safe: one arena belongs to one routing call at a time
+    (sessions hand them out through a mutex-guarded pool). *)
+
+type t
+
+type buffer = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh arena with [capacity] slots reserved (default 1024). *)
+
+val data : t -> buffer
+(** The backing store. Only indices below {!used} hold allocated slices.
+    Invalidated by any {!alloc} that grows the arena — re-fetch after
+    allocating, never cache across calls. *)
+
+val used : t -> int
+(** Slots allocated since the last {!clear}. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves [n] slots and returns the offset of the first;
+    grows the backing store (doubling) when needed. *)
+
+val truncate : t -> int -> unit
+(** [truncate t off] abandons every slice at or above [off] (which must
+    be a value previously returned by {!alloc}, or {!used}). *)
+
+val clear : t -> unit
+(** Abandon every slice; capacity is retained. *)
+
+val capacity : t -> int
+(** Current slot capacity of the backing store. *)
+
+val capacity_bytes : t -> int
+(** Backing-store footprint in bytes. *)
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Move [len] slots from [src] to [dst] within the arena (ranges may
+    overlap; copies as [memmove]). Bookkeeping ([used]) is untouched. *)

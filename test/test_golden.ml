@@ -15,6 +15,9 @@ module Subject = Cals_netlist.Subject
 module Floorplan = Cals_place.Floorplan
 module Placement = Cals_place.Placement
 module Congestion = Cals_route.Congestion
+module Router = Cals_route.Router
+module Rgrid = Cals_route.Rgrid
+module Fnv = Cals_util.Tables.Fnv64
 module Gen = Cals_workload.Gen
 module Rng = Cals_util.Rng
 
@@ -73,9 +76,35 @@ let fmt_iteration (it : Flow.iteration) =
       it.Flow.report.Congestion.total_overflow
       it.Flow.report.Congestion.wirelength_um
 
+(* FNV-64 digest of a routed snapshot: every segment's net, endpoint
+   gcells and committed edge walk, in commit order. Two results with the
+   same digest routed the same paths, so the golden lines pin the routes
+   themselves, not just their aggregate metrics. *)
+let route_digest = function
+  | None -> "-"
+  | Some (r : Router.result) ->
+    let h = ref (Fnv.int Fnv.empty (Array.length r.Router.routes)) in
+    Array.iter
+      (fun (rt : Router.route) ->
+        let (c1, r1), (c2, r2) = rt.Router.gends in
+        h := Fnv.int !h rt.Router.net;
+        h := Fnv.int !h c1;
+        h := Fnv.int !h r1;
+        h := Fnv.int !h c2;
+        h := Fnv.int !h r2;
+        List.iter
+          (fun e ->
+            match e with
+            | Rgrid.H (c, r) -> h := Fnv.int (Fnv.int (Fnv.int !h 0) c) r
+            | Rgrid.V (c, r) -> h := Fnv.int (Fnv.int (Fnv.int !h 1) c) r)
+          rt.Router.edges)
+      r.Router.routes;
+    Printf.sprintf "%016Lx" !h
+
 (* Per-K metrics of one design, computed twice — through an incremental
-   session and cold — and required to agree line for line before the
-   snapshot comparison even starts. *)
+   session (mapping and routing both warm) and cold — and required to
+   agree line for line, routed paths included, before the snapshot
+   comparison even starts. *)
 let actual_lines name net =
   Cals_logic.Network.sweep net;
   let subject = Cals_logic.Decompose.subject_of_network net in
@@ -95,17 +124,19 @@ let actual_lines name net =
       (Subject.num_gates subject) (Subject.num_pis subject)
       (Array.length subject.Subject.outputs)
   in
+  let route_session = Incremental.route_session session in
   let lines =
     List.map
       (fun k ->
-        let eval session =
-          let it, _ =
-            Flow.evaluate_k ?session ~subject ~library:lib ~floorplan
-              ~positions ~k ()
+        let eval ?session ?route_session () =
+          let it, (_, _, routing) =
+            Flow.evaluate_k ?session ?route_session ~subject ~library:lib
+              ~floorplan ~positions ~k ()
           in
-          fmt_iteration it
+          Printf.sprintf "%s route=%s" (fmt_iteration it)
+            (route_digest routing)
         in
-        let warm = eval (Some session) and cold = eval None in
+        let warm = eval ~session ~route_session () and cold = eval () in
         if warm <> cold then
           Alcotest.failf
             "%s: incremental and cold evaluation disagree at K=%g:\n\

@@ -13,7 +13,9 @@ module Mapped = Cals_netlist.Mapped
 module Floorplan = Cals_place.Floorplan
 module Placement = Cals_place.Placement
 module Congestion = Cals_route.Congestion
+module Router = Cals_route.Router
 module Check = Cals_verify.Check
+module Invariant = Cals_verify.Invariant
 module Gen = Cals_workload.Gen
 module Rng = Cals_util.Rng
 
@@ -185,6 +187,100 @@ let test_fingerprints_track_partition () =
   let pdp' = Incremental.fingerprints (make Partition.Pdp) in
   Alcotest.(check bool) "fingerprints deterministic" true (pdp = pdp')
 
+(* ---------------- Route-session differential ---------------- *)
+
+let route_result_identical (a : Router.result) (b : Router.result) =
+  a.Router.violations = b.Router.violations
+  && a.Router.total_overflow = b.Router.total_overflow
+  && a.Router.wirelength_um = b.Router.wirelength_um
+  && a.Router.net_length_um = b.Router.net_length_um
+  && Array.length a.Router.routes = Array.length b.Router.routes
+  && Array.for_all2
+       (fun (x : Router.route) (y : Router.route) ->
+         x.Router.net = y.Router.net
+         && x.Router.gends = y.Router.gends
+         && x.Router.edges = y.Router.edges)
+       a.Router.routes b.Router.routes
+
+(* Warm-vs-cold routing over the paper's full K ladder: every K point is
+   evaluated twice, once through a shared router session (the warm path
+   the flow takes) and once without one; the routed results must be
+   bit-identical and every warm result must satisfy the routing
+   invariants from first principles. *)
+let check_route_sweep_identical w =
+  let session =
+    Incremental.create ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  let rsession = Incremental.route_session session in
+  List.iter
+    (fun k ->
+      let eval ?session ?route_session () =
+        Flow.evaluate_k ?session ?route_session ~subject:w.subject
+          ~library:lib ~floorplan:w.floorplan ~positions:w.positions ~k ()
+      in
+      let _, (_, _, warm) = eval ~session ~route_session:rsession () in
+      let _, (_, _, cold) = eval () in
+      match (warm, cold) with
+      | None, None -> ()
+      | Some rw, Some rc ->
+        if not (route_result_identical rw rc) then
+          QCheck.Test.fail_reportf "K=%g: warm routing differs from cold" k;
+        (match Invariant.check_routing ~usage:true rw with
+        | Ok () -> ()
+        | Error detail ->
+          QCheck.Test.fail_reportf "K=%g: warm routing invariant: %s" k detail)
+      | _ ->
+        QCheck.Test.fail_reportf "K=%g: routing presence differs warm/cold" k)
+    Flow.default_k_schedule;
+  let s = Router.Session.stats rsession in
+  if s.Router.Session.route_calls = 0 then
+    QCheck.Test.fail_reportf "route session saw no calls";
+  true
+
+let prop_route_session_bit_identical =
+  QCheck.Test.make ~count:6
+    ~name:"router session == cold route at every K of the schedule"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 4 8) (int_range 2 5)
+        (int_range 12 30))
+    (fun (seed, inputs, outputs, size) ->
+      let family = if seed land 1 = 0 then `Pla else `Multilevel in
+      check_route_sweep_identical
+        (workload_of ~family ~seed ~inputs ~outputs ~size))
+
+let test_route_session_regression_seeds () =
+  List.iter
+    (fun (family, seed, inputs, outputs, size) ->
+      ignore
+        (check_route_sweep_identical
+           (workload_of ~family ~seed ~inputs ~outputs ~size)))
+    [ (`Pla, 9, 6, 3, 18); (`Multilevel, 17, 7, 4, 26) ]
+
+(* The warm K sweep re-routes the same mapped netlist whenever consecutive
+   K points map identically, so a full-schedule sweep through one session
+   must replay at least once — this is the speedup mechanism. *)
+let test_route_session_hit_rate () =
+  let w = workload_of ~family:`Pla ~seed:11 ~inputs:8 ~outputs:6 ~size:30 in
+  let session =
+    Incremental.create ~subject:w.subject ~library:lib ~positions:w.positions ()
+  in
+  let rsession = Incremental.route_session session in
+  List.iter
+    (fun k ->
+      ignore
+        (Flow.evaluate_k ~session ~route_session:rsession ~subject:w.subject
+           ~library:lib ~floorplan:w.floorplan ~positions:w.positions ~k ()))
+    Flow.default_k_schedule;
+  let s = Router.Session.stats rsession in
+  Alcotest.(check bool)
+    (Printf.sprintf "replays %d of %d calls" s.Router.Session.replays
+       s.Router.Session.route_calls)
+    true
+    (s.Router.Session.replays > 0);
+  Alcotest.(check bool) "hit rate in (0,1]" true
+    (Router.Session.warm_hit_rate s > 0.0
+    && Router.Session.warm_hit_rate s <= 1.0)
+
 (* ---------------- Flow integration ---------------- *)
 
 let outcome_signature (o : Flow.outcome) =
@@ -254,6 +350,14 @@ let () =
             test_warm_then_seal_only_hits;
           Alcotest.test_case "fingerprints track the partition" `Quick
             test_fingerprints_track_partition;
+        ] );
+      ( "route-session",
+        [
+          qc prop_route_session_bit_identical;
+          Alcotest.test_case "pinned route regression seeds" `Quick
+            test_route_session_regression_seeds;
+          Alcotest.test_case "replay rate over a sweep" `Quick
+            test_route_session_hit_rate;
         ] );
       ( "flow",
         [

@@ -194,6 +194,145 @@ let test_route_star_config () =
   Alcotest.(check bool) "star at least as long" true
     (r_star.Router.wirelength_um >= r_mst.Router.wirelength_um -. 1e-6)
 
+(* ------------------------- Session & parallelism ------------------------- *)
+
+(* Bit-exact result comparison: the contract of both the session replay
+   cache and the wave-parallel negotiation is "identical result", so this
+   compares every field, including the grid's usage arrays. *)
+let check_same_result label (a : Router.result) (b : Router.result) =
+  Alcotest.(check int) (label ^ ": violations") a.Router.violations
+    b.Router.violations;
+  Alcotest.(check (float 0.0)) (label ^ ": total overflow")
+    a.Router.total_overflow b.Router.total_overflow;
+  Alcotest.(check (float 0.0)) (label ^ ": wirelength") a.Router.wirelength_um
+    b.Router.wirelength_um;
+  Alcotest.(check (float 0.0)) (label ^ ": max utilization")
+    a.Router.max_utilization b.Router.max_utilization;
+  Alcotest.(check int) (label ^ ": segments") a.Router.num_segments
+    b.Router.num_segments;
+  Alcotest.(check (array (float 0.0))) (label ^ ": net lengths")
+    a.Router.net_length_um b.Router.net_length_um;
+  Alcotest.(check bool) (label ^ ": net gcells") true
+    (a.Router.net_gcells = b.Router.net_gcells);
+  Alcotest.(check int) (label ^ ": route count")
+    (Array.length a.Router.routes)
+    (Array.length b.Router.routes);
+  Array.iteri
+    (fun i (ra : Router.route) ->
+      let rb = b.Router.routes.(i) in
+      if ra.Router.net <> rb.Router.net || ra.Router.gends <> rb.Router.gends
+      then Alcotest.failf "%s: route %d metadata differs" label i;
+      if ra.Router.edges <> rb.Router.edges then
+        Alcotest.failf "%s: route %d path differs" label i)
+    a.Router.routes;
+  Alcotest.(check (array (float 0.0))) (label ^ ": husage")
+    a.Router.grid.Rgrid.husage b.Router.grid.Rgrid.husage;
+  Alcotest.(check (array (float 0.0))) (label ^ ": vusage")
+    a.Router.grid.Rgrid.vusage b.Router.grid.Rgrid.vusage
+
+(* A congested workload (narrow corridor, long parallel nets) so the
+   negotiation loop actually runs waves of rip-up and reroute. *)
+let congested_floorplan = Floorplan.of_rows ~num_rows:8 ~sites_per_row:400 ~geometry
+
+let congested_nets seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun i ->
+      if i mod 3 = 0 then begin
+        let y = float_of_int (i mod 8) +. 2.0 in
+        [
+          Geom.point 1.0 y;
+          Geom.point (congested_floorplan.Floorplan.die_width -. 1.0) y;
+        ]
+      end
+      else
+        List.init 2 (fun _ ->
+            Geom.point
+              (Rng.float rng congested_floorplan.Floorplan.die_width)
+              (Rng.float rng congested_floorplan.Floorplan.die_height)))
+
+let test_route_pool_matches_sequential () =
+  let nets = congested_nets 40 240 in
+  let r_seq = Router.route_pins ~floorplan:congested_floorplan ~wire nets in
+  Alcotest.(check bool) "workload is congested" true (r_seq.Router.violations > 0);
+  let pool = Cals_util.Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool) @@ fun () ->
+  let r_par =
+    Router.route_pins ~pool ~floorplan:congested_floorplan ~wire nets
+  in
+  check_same_result "pool==seq" r_seq r_par
+
+let test_route_session_replay () =
+  let nets = congested_nets 41 150 in
+  let session = Router.Session.create () in
+  let route () =
+    Router.route_pins ~session ~floorplan:congested_floorplan ~wire nets
+  in
+  let r1 = route () in
+  let r2 = route () in
+  check_same_result "replay==cold" r1 r2;
+  let cold = Router.route_pins ~floorplan:congested_floorplan ~wire nets in
+  check_same_result "session==no-session" cold r1;
+  let s = Router.Session.stats session in
+  Alcotest.(check int) "two calls" 2 s.Router.Session.route_calls;
+  Alcotest.(check int) "one replay" 1 s.Router.Session.replays;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Router.Session.warm_hit_rate s);
+  Alcotest.(check bool) "arena peak recorded" true
+    (s.Router.Session.arena_bytes > 0);
+  Router.Session.invalidate session;
+  let r3 = route () in
+  check_same_result "post-invalidate==cold" cold r3;
+  let s' = Router.Session.stats session in
+  Alcotest.(check int) "invalidate forces a cold route" 1
+    (s'.Router.Session.replays)
+
+(* A cancellation fired mid-negotiation must unwind without corrupting
+   the session: the next call on the same session (which reuses the
+   pooled arena the cancelled call abandoned) must equal a fresh cold
+   route, with and without a pool. *)
+let test_route_cancel_mid_negotiation () =
+  let nets = congested_nets 42 240 in
+  let session = Router.Session.create () in
+  let checks = ref 0 in
+  let cancel =
+    Cals_util.Cancel.create
+      ~expires:(fun () ->
+        incr checks;
+        !checks > 25)
+      ()
+  in
+  (match
+     Router.route_pins ~session ~cancel ~floorplan:congested_floorplan ~wire
+       nets
+   with
+  | _ -> Alcotest.fail "expected the countdown token to cancel the route"
+  | exception Cals_util.Cancel.Cancelled _ -> ());
+  Alcotest.(check bool) "cancelled mid-run" true (!checks > 25);
+  let cold = Router.route_pins ~floorplan:congested_floorplan ~wire nets in
+  let warm =
+    Router.route_pins ~session ~floorplan:congested_floorplan ~wire nets
+  in
+  check_same_result "post-cancel session==cold" cold warm;
+  let pool = Cals_util.Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool) @@ fun () ->
+  let checks2 = ref 0 in
+  let cancel2 =
+    Cals_util.Cancel.create
+      ~expires:(fun () ->
+        incr checks2;
+        !checks2 > 25)
+      ()
+  in
+  (match
+     Router.route_pins ~session ~pool ~cancel:cancel2
+       ~floorplan:congested_floorplan ~wire (congested_nets 43 240)
+   with
+  | _ -> Alcotest.fail "expected cancellation under the pool"
+  | exception Cals_util.Cancel.Cancelled _ -> ());
+  let warm2 =
+    Router.route_pins ~session ~floorplan:congested_floorplan ~wire nets
+  in
+  check_same_result "post-pool-cancel session==cold" cold warm2
+
 (* ------------------------- Congestion ------------------------- *)
 
 let test_congestion_report () =
@@ -246,6 +385,14 @@ let () =
           Alcotest.test_case "overload detected" `Quick test_route_overload_detected;
           Alcotest.test_case "negotiation helps" `Quick test_route_negotiation_helps;
           Alcotest.test_case "star topology" `Quick test_route_star_config;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "pool == sequential" `Quick
+            test_route_pool_matches_sequential;
+          Alcotest.test_case "session replay" `Quick test_route_session_replay;
+          Alcotest.test_case "cancel mid-negotiation" `Quick
+            test_route_cancel_mid_negotiation;
         ] );
       ("congestion", [ Alcotest.test_case "report" `Quick test_congestion_report ]);
     ]
