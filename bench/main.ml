@@ -16,6 +16,7 @@ module Floorplan = Cals_place.Floorplan
 module Placement = Cals_place.Placement
 module Router = Cals_route.Router
 module Congestion = Cals_route.Congestion
+module Estimate = Cals_estimate.Estimate
 module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Partition = Cals_core.Partition
@@ -434,12 +435,14 @@ let wall f =
 
 (* The parallel flow must reproduce the sequential outcome bit for bit:
    same K points evaluated, same accepted K, same metrics. *)
+let iteration_sig (it : Flow.iteration) =
+  (it.Flow.k, it.Flow.cells, it.Flow.cell_area, it.Flow.hpwl_um, it.Flow.report)
+
 let same_outcome (a : Flow.outcome) (b : Flow.outcome) =
-  let sig_of (it : Flow.iteration) =
-    (it.Flow.k, it.Flow.cells, it.Flow.cell_area, it.Flow.hpwl_um, it.Flow.report)
-  in
-  List.map sig_of a.Flow.iterations = List.map sig_of b.Flow.iterations
-  && Option.map sig_of a.Flow.accepted = Option.map sig_of b.Flow.accepted
+  List.map iteration_sig a.Flow.iterations
+  = List.map iteration_sig b.Flow.iterations
+  && Option.map iteration_sig a.Flow.accepted
+     = Option.map iteration_sig b.Flow.accepted
 
 let perf_report ~scale ~jobs ~json =
   Ring.clear ();
@@ -492,15 +495,19 @@ let perf_report ~scale ~jobs ~json =
   (* Full K-schedule sweep, sequential vs speculative-parallel. Fresh RNGs
      with the same seed give both flows the same companion placement. *)
   let subject = circuit.subject and floorplan = circuit.floorplan in
+  (* The seq/par pair measures the full (unpruned) sweep — the estimator
+     is pinned Off so flow.route_share and the parallel-speedup guard
+     keep their schema-4 meaning; the pruned run below measures the
+     production default against it. *)
   let seq, seq_s =
     wall (fun () ->
-        Flow.run ~router_config ~subject ~library ~floorplan
-          ~rng:(Rng.create 22) ())
+        Flow.run ~router_config ~estimate:Estimate.Off ~subject ~library
+          ~floorplan ~rng:(Rng.create 22) ())
   in
   let par, par_s =
     wall (fun () ->
-        Flow.run_parallel ~jobs ~router_config ~subject ~library ~floorplan
-          ~rng:(Rng.create 22) ())
+        Flow.run_parallel ~jobs ~router_config ~estimate:Estimate.Off ~subject
+          ~library ~floorplan ~rng:(Rng.create 22) ())
   in
   let speedup = seq_s /. max 1e-9 par_s in
   let identical = same_outcome seq par in
@@ -532,6 +539,51 @@ let perf_report ~scale ~jobs ~json =
   in
   Printf.printf "  route share of the K sweep: %.1f%% of flow.k_eval\n"
     (100.0 *. route_share);
+  (* Pruned sweep: the production default (estimate on). Confident
+     Unroutable forecasts skip their negotiated route; the accepted K and
+     its QoR must be bit-identical to the unpruned [seq] run, and every
+     skipped point is scored against the unpruned run's real route at the
+     same K (accuracy = fraction the estimator called correctly). *)
+  let pruned, pruned_s =
+    wall (fun () ->
+        Flow.run ~router_config ~subject ~library ~floorplan
+          ~rng:(Rng.create 22) ())
+  in
+  let skipped =
+    List.filter (fun it -> it.Flow.estimated) pruned.Flow.iterations
+  in
+  let routes_skipped = List.length skipped in
+  let estimate_accuracy =
+    if routes_skipped = 0 then 1.0
+    else
+      let correct =
+        List.length
+          (List.filter
+             (fun (it : Flow.iteration) ->
+               match
+                 List.find_opt
+                   (fun (s : Flow.iteration) -> s.Flow.k = it.Flow.k)
+                   seq.Flow.iterations
+               with
+               | Some s -> s.Flow.report.Congestion.violations > 0
+               | None -> false)
+             skipped)
+      in
+      float_of_int correct /. float_of_int routes_skipped
+  in
+  let pruned_speedup = seq_s /. max 1e-9 pruned_s in
+  let accepted_k_identical =
+    Option.map iteration_sig seq.Flow.accepted
+    = Option.map iteration_sig pruned.Flow.accepted
+  in
+  Printf.printf
+    "  pruned sweep: %.3fs (%d of %d routes skipped, accuracy %.2f), \
+     speedup %.2fx vs unpruned, accepted K identical=%b\n"
+    pruned_s routes_skipped
+    (List.length pruned.Flow.iterations)
+    estimate_accuracy pruned_speedup accepted_k_identical;
+  if not accepted_k_identical then
+    print_endline "  WARNING: pruned sweep changed the accepted K point";
   (* Cold vs incremental mapping sweep: the match cache's win — one match
      phase, then only the cost-combination DP per K point. Placement and
      routing are untouched by the engine, so the pair times the mapping
@@ -641,7 +693,7 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 4,\n\
+      \  \"schema\": 5,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -673,7 +725,15 @@ let perf_report ~scale ~jobs ~json =
       \    \"incremental_s\": %.6f,\n\
       \    \"speedup\": %.3f,\n\
       \    \"cache_hit_rate\": %.4f,\n\
-      \    \"identical\": %b\n\
+      \    \"identical\": %b,\n\
+      \    \"pruned\": {\n\
+      \      \"routes_skipped\": %d,\n\
+      \      \"iterations\": %d,\n\
+      \      \"estimate_accuracy\": %.4f,\n\
+      \      \"pruned_s\": %.6f,\n\
+      \      \"speedup\": %.3f,\n\
+      \      \"accepted_k_identical\": %b\n\
+      \    }\n\
       \  },\n\
       \  \"route\": {\n\
       \    \"placements\": %d,\n\
@@ -699,7 +759,9 @@ let perf_report ~scale ~jobs ~json =
       (List.length seq.Flow.iterations)
       accepted_k seq_s par_s speedup identical route_share
       (List.length k_schedule)
-      cold_s inc_s sweep_speedup cache_hit_rate sweep_identical
+      cold_s inc_s sweep_speedup cache_hit_rate sweep_identical routes_skipped
+      (List.length pruned.Flow.iterations)
+      estimate_accuracy pruned_s pruned_speedup accepted_k_identical
       (List.length fixtures)
       route_cold_s route_warm_s route_speedup warm_hit_rate
       rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted

@@ -16,6 +16,9 @@ module Floorplan = Cals_place.Floorplan
 module Placement = Cals_place.Placement
 module Router = Cals_route.Router
 module Congestion = Cals_route.Congestion
+module Estimate = Cals_estimate.Estimate
+module Grid2d = Cals_util.Grid2d
+module Proto = Cals_serve.Proto
 module Sta = Cals_sta.Sta
 module Mapper = Cals_core.Mapper
 module Flow = Cals_core.Flow
@@ -108,8 +111,69 @@ let run_map input scale seed optimize k utilization output =
 
 (* ------------------------- flow ------------------------- *)
 
+let grid_json g =
+  Proto.Arr
+    (List.init (Grid2d.rows g) (fun r ->
+         Proto.Arr
+           (List.init (Grid2d.cols g) (fun c -> Proto.Num (Grid2d.get g c r)))))
+
+(* Both per-gcell maps — the estimator's forecast and the router's real
+   congestion — at one K point, for offline inspection. The point is
+   re-evaluated from scratch (same companion placement) so the dump is
+   complete even when the flow itself pruned or triaged the route away. *)
+let dump_congestion path ~subject ~floorplan ~positions ~k =
+  let result =
+    Mapper.map subject ~library ~positions (Mapper.congestion_aware ~k)
+  in
+  let mapped = result.Mapper.mapped in
+  match Placement.place_mapped_seeded mapped ~floorplan with
+  | exception Cals_place.Legalize.Overflow _ ->
+    Printf.printf
+      "dump-congestion: K=%g does not legalize, nothing to dump\n" k
+  | placement ->
+    let f = Estimate.forecast_mapped mapped ~floorplan ~wire ~placement in
+    let routing = Router.route_mapped mapped ~floorplan ~wire ~placement in
+    let real = Congestion.gcell_map routing in
+    let m = f.Estimate.maps in
+    let json =
+      Proto.Obj
+        [
+          ("k", Proto.Num k);
+          ("cols", Proto.Num (float_of_int m.Estimate.cols));
+          ("rows", Proto.Num (float_of_int m.Estimate.rows));
+          ("gcell_um", Proto.Num m.Estimate.gcell_um);
+          ( "estimated",
+            Proto.Obj
+              [
+                ("verdict", Proto.Str (Estimate.verdict_to_string f.Estimate.verdict));
+                ("normalized_overflow", Proto.Num f.Estimate.normalized_overflow);
+                ("peak_utilization", Proto.Num f.Estimate.peak_utilization);
+                ("overflow_score", Proto.Num f.Estimate.overflow_score);
+                ("wire_density", grid_json m.Estimate.wire_density);
+                ("pin_density", grid_json m.Estimate.pin_density);
+                ("supply", grid_json m.Estimate.supply);
+                ("utilization", grid_json m.Estimate.utilization);
+              ] );
+          ( "real",
+            Proto.Obj
+              [
+                ( "violations",
+                  Proto.Num (float_of_int routing.Router.violations) );
+                ("total_overflow", Proto.Num routing.Router.total_overflow);
+                ("max_utilization", Proto.Num routing.Router.max_utilization);
+                ("utilization", grid_json real);
+              ] );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Proto.print_json json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s (estimated + real congestion maps at K=%g)\n" path
+      k
+
 let run_flow verbosity input scale seed optimize utilization jobs checks
-    incremental route_incremental route_jobs trace metrics =
+    estimate dump incremental route_incremental route_jobs trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
@@ -121,6 +185,13 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
     print_endline "incremental K-loop engine disabled (cold re-mapping per K)";
   if not route_incremental then
     print_endline "router session disabled (cold routing per K)";
+  (match estimate with
+  | Estimate.Off ->
+    print_endline "congestion estimator disabled (every K point routes)"
+  | Estimate.Prune -> ()
+  | Estimate.Triage ->
+    print_endline
+      "estimator-only triage: no K point routes, results are forecasts");
   if route_jobs > 1 then
     if jobs > 1 then
       print_endline "--route-jobs ignored with --jobs > 1 (pools cannot nest)"
@@ -133,12 +204,12 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
         (if jobs > 1 then begin
            Printf.printf
              "evaluating the K schedule speculatively on %d domains\n" jobs;
-           Flow.run_parallel ~jobs ~checks ~incremental ~route_incremental
-             ~subject ~library ~floorplan ~rng ()
+           Flow.run_parallel ~jobs ~checks ~estimate ~incremental
+             ~route_incremental ~subject ~library ~floorplan ~rng ()
          end
          else
-           Flow.run ~checks ~incremental ~route_incremental ~route_jobs
-             ~subject ~library ~floorplan ~rng ())
+           Flow.run ~checks ~estimate ~incremental ~route_incremental
+             ~route_jobs ~subject ~library ~floorplan ~rng ())
     with Check.Violation { stage; detail } -> Error (stage, detail)
   in
   let code =
@@ -149,14 +220,34 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
     | Ok outcome ->
       List.iter
         (fun it ->
-          Printf.printf "K=%-8g cells=%-6d util=%5.2f%%  %s\n" it.Flow.k
+          Printf.printf "K=%-8g cells=%-6d util=%5.2f%%  %s%s\n" it.Flow.k
             it.Flow.cells
             (100.0 *. it.Flow.utilization)
-            (Congestion.summary it.Flow.report))
+            (Congestion.summary it.Flow.report)
+            (if it.Flow.estimated then " [estimated]" else ""))
         outcome.Flow.iterations;
+      let skipped =
+        List.length (List.filter (fun it -> it.Flow.estimated)
+                       outcome.Flow.iterations)
+      in
+      if skipped > 0 then
+        Printf.printf "estimator skipped %d negotiated route%s\n" skipped
+          (if skipped = 1 then "" else "s");
+      (match dump with
+      | Some path ->
+        let k =
+          match (outcome.Flow.accepted, List.rev outcome.Flow.iterations) with
+          | Some it, _ | None, it :: _ -> it.Flow.k
+          | None, [] -> 0.0
+        in
+        let rng = Cals_util.Rng.create (seed + 1) in
+        let positions = Placement.place_subject subject ~floorplan ~rng in
+        dump_congestion path ~subject ~floorplan ~positions ~k
+      | None -> ());
       (match outcome.Flow.accepted with
       | Some it ->
-        Printf.printf "accepted at K=%g\n" it.Flow.k;
+        Printf.printf "accepted at K=%g%s\n" it.Flow.k
+          (if it.Flow.estimated then " (estimated, not routed)" else "");
         0
       | None ->
         print_endline "no K in the schedule was acceptable";
@@ -235,8 +326,8 @@ let run_fuzz verbosity iterations seed out replay level jobs =
 (* ------------------------- serve ------------------------- *)
 
 let run_serve verbosity spool from_stdin jobs out deadline max_attempts
-    backoff high_watermark overload_watermark degraded_k_points watch tick
-    trace metrics =
+    backoff high_watermark overload_watermark triage_watermark
+    degraded_k_points watch tick trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   if spool = None && not from_stdin then begin
@@ -254,6 +345,7 @@ let run_serve verbosity spool from_stdin jobs out deadline max_attempts
         backoff_s = backoff;
         high_watermark;
         overload_watermark;
+        triage_watermark;
         degraded_k_points;
         watch;
         tick_s = tick;
@@ -383,6 +475,39 @@ let check_arg =
     & opt ~vopt:Check.Full check_level_conv Check.Off
     & info [ "check" ] ~docv:"LEVEL" ~doc)
 
+let estimate_conv =
+  let parse s =
+    match Estimate.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Estimate.policy_to_string p) in
+  Arg.conv (parse, print)
+
+let estimate_arg =
+  let doc =
+    "Millisecond congestion forecasting ahead of each negotiated route. \
+     $(b,on) (the default) prunes the K schedule: points the estimator \
+     confidently calls unroutable skip the route and record a forecast \
+     report (marked estimated); the accepted K is always confirmed by a \
+     real route. $(b,off) routes every point; $(b,triage) routes nothing \
+     and accepts on the forecast alone (results are estimates)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:Estimate.Prune estimate_conv Estimate.Prune
+    & info [ "estimate" ] ~docv:"on|off|triage" ~doc)
+
+let dump_congestion_arg =
+  let doc =
+    "Write the estimated and real per-gcell congestion maps at the \
+     accepted (or last evaluated) K point to $(docv) as JSON."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-congestion" ] ~docv:"FILE" ~doc)
+
 let incremental_arg =
   let doc =
     "Drive the K schedule through the incremental engine (match the \
@@ -456,9 +581,9 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
-      $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg
-      $ incremental_arg $ route_incremental_arg $ route_jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg $ estimate_arg
+      $ dump_congestion_arg $ incremental_arg $ route_incremental_arg
+      $ route_jobs_arg $ trace_arg $ metrics_arg)
 
 let fuzz_iterations_arg =
   let doc = "Number of random workloads to check." in
@@ -549,6 +674,14 @@ let serve_overload_arg =
   in
   Arg.(value & opt int 16 & info [ "overload-watermark" ] ~docv:"N" ~doc)
 
+let serve_triage_arg =
+  let doc =
+    "Queue depth past which jobs run estimator-only: no K point pays a \
+     negotiated route, congestion forecasts decide acceptance, and job \
+     metrics carry $(b,estimated: true)."
+  in
+  Arg.(value & opt int 32 & info [ "triage-watermark" ] ~docv:"N" ~doc)
+
 let serve_degraded_k_arg =
   let doc = "Maximum K-schedule points per job under overload." in
   Arg.(value & opt int 6 & info [ "degraded-k-points" ] ~docv:"N" ~doc)
@@ -583,7 +716,9 @@ let serve_cmd =
          workload jobs, a reproducer that $(b,cals fuzz --replay) accepts. \
          Under queue pressure the service degrades gracefully: full checks \
          shed to cheap at the high watermark; past the overload watermark \
-         checks turn off and K schedules are capped.";
+         checks turn off and K schedules are capped; past the triage \
+         watermark jobs run estimator-only (no negotiated routes, results \
+         marked estimated).";
       `P
         "Repeated designs share one warmed incremental mapping session, so \
          a batch of jobs over the same circuit pays for decomposition, \
@@ -596,8 +731,8 @@ let serve_cmd =
       const run_serve $ verbosity_arg $ serve_spool_arg $ serve_stdin_arg
       $ serve_jobs_arg $ serve_out_arg $ serve_deadline_arg
       $ serve_attempts_arg $ serve_backoff_arg $ serve_high_arg
-      $ serve_overload_arg $ serve_degraded_k_arg $ serve_watch_arg
-      $ serve_tick_arg $ trace_arg $ metrics_arg)
+      $ serve_overload_arg $ serve_triage_arg $ serve_degraded_k_arg
+      $ serve_watch_arg $ serve_tick_arg $ trace_arg $ metrics_arg)
 
 let sta_cmd =
   let doc = "map, place, route and report static timing" in

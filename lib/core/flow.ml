@@ -2,6 +2,7 @@ module Placement = Cals_place.Placement
 module Floorplan = Cals_place.Floorplan
 module Router = Cals_route.Router
 module Congestion = Cals_route.Congestion
+module Estimate = Cals_estimate.Estimate
 module Mapped = Cals_netlist.Mapped
 module Span = Cals_telemetry.Span
 module Metrics = Cals_telemetry.Metrics
@@ -25,6 +26,11 @@ let m_legalize_overflows =
   Metrics.counter ~help:"K points whose netlist did not fit the floorplan"
     "flow_legalize_overflows"
 
+let m_routes_skipped =
+  Metrics.counter
+    ~help:"K points whose negotiated route the estimator skipped"
+    "flow_routes_skipped"
+
 type iteration = {
   k : float;
   cells : int;
@@ -32,6 +38,7 @@ type iteration = {
   utilization : float;
   hpwl_um : float;
   report : Congestion.report;
+  estimated : bool;
 }
 
 type outcome = {
@@ -72,8 +79,9 @@ let check_equiv ~checks ~subject ~seed ~k mapped =
     (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped)
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
-    ?session ?route_session ?route_pool ?(cancel = Cals_util.Cancel.never)
-    ~subject ~library ~floorplan ~positions ~k () =
+    ?(estimate = Estimate.Prune) ?session ?route_session ?route_pool
+    ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~positions
+    ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
   Cals_util.Cancel.check cancel;
@@ -105,6 +113,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
         utilization;
         hpwl_um = infinity;
         report = overflow_report;
+        estimated = false;
       },
       (mapped, None, None) )
   | placement ->
@@ -113,23 +122,70 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
         (Invariant.check_placement ~floorplan mapped placement);
     Cals_util.Cancel.check cancel;
     let wire = Cals_cell.Library.wire library in
-    let routing =
-      Router.route_mapped ?config:router_config ~cancel ?session:route_session
-        ?pool:route_pool mapped ~floorplan ~wire ~placement
+    let forecast =
+      match estimate with
+      | Estimate.Off -> None
+      | Estimate.Prune | Estimate.Triage ->
+        Some
+          (Estimate.forecast_mapped ?config:router_config mapped ~floorplan
+             ~wire ~placement)
     in
-    if verify then
-      Check.record ~stage:"route"
-        (Invariant.check_routing ~usage:(checks = Check.Full) routing);
-    let report = Congestion.of_result routing in
-    ( {
-        k;
-        cells = Mapped.num_cells mapped;
-        cell_area;
-        utilization;
-        hpwl_um = placement.Placement.hpwl;
-        report;
-      },
-      (mapped, Some placement, Some routing) )
+    let skip_route =
+      match (estimate, forecast) with
+      | Estimate.Triage, Some _ -> true
+      | Estimate.Prune, Some f -> f.Estimate.verdict = Estimate.Unroutable
+      | _ -> false
+    in
+    match (skip_route, forecast) with
+    | true, Some f ->
+      (* The estimator stands in for the router at this point. Under
+         [Prune] only confident-Unroutable points land here and their
+         reports carry violations by construction, so a pruned point can
+         never be the accepted one — acceptance always rides on a real
+         route. Under [Triage] nothing routes; a non-[Routable] verdict
+         must still read as a rejection even when the damped violation
+         estimate rounds to zero. *)
+      Metrics.incr m_routes_skipped;
+      let report = Estimate.report f in
+      let report =
+        if f.Estimate.verdict <> Estimate.Routable && report.violations = 0
+        then { report with Congestion.violations = 1 }
+        else report
+      in
+      Log.debug (fun m ->
+          m "K=%g route skipped on %s forecast (norm overflow %.4f)" k
+            (Estimate.verdict_to_string f.Estimate.verdict)
+            f.Estimate.normalized_overflow);
+      ( {
+          k;
+          cells = Mapped.num_cells mapped;
+          cell_area;
+          utilization;
+          hpwl_um = placement.Placement.hpwl;
+          report;
+          estimated = true;
+        },
+        (mapped, Some placement, None) )
+    | _ ->
+      let routing =
+        Router.route_mapped ?config:router_config ~cancel
+          ?session:route_session ?pool:route_pool mapped ~floorplan ~wire
+          ~placement
+      in
+      if verify then
+        Check.record ~stage:"route"
+          (Invariant.check_routing ~usage:(checks = Check.Full) routing);
+      let report = Congestion.of_result routing in
+      ( {
+          k;
+          cells = Mapped.num_cells mapped;
+          cell_area;
+          utilization;
+          hpwl_um = placement.Placement.hpwl;
+          report;
+          estimated = false;
+        },
+        (mapped, Some placement, Some routing) )
 
 (* Cheap defers equivalence to the single netlist the flow ships; Full
    already checked every K point inside [evaluate_k]. *)
@@ -179,9 +235,9 @@ let make_route_session ~route_incremental session =
       | None -> Router.Session.create ())
 
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
-    ?(route_jobs = 1) ?(cancel = Cals_util.Cancel.never) ~subject ~library
-    ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(estimate = Estimate.Prune) ?(incremental = true)
+    ?(route_incremental = true) ?(route_jobs = 1)
+    ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
     Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
@@ -206,8 +262,9 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
         placement = None; routing = None }
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
-        evaluate_k ?router_config ?strategy ~checks ?session ?route_session
-          ?route_pool ~cancel ~subject ~library ~floorplan ~positions ~k ()
+        evaluate_k ?router_config ?strategy ~checks ~estimate ?session
+          ?route_session ?route_pool ~cancel ~subject ~library ~floorplan
+          ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
         log_accepted iteration;
@@ -236,11 +293,12 @@ let rec take_chunk n = function
   | rest -> ([], rest)
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
-    ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
-    ?(route_jobs = 1) ?(cancel = Cals_util.Cancel.never) ~jobs ~subject
-    ~library ~floorplan ~rng () =
+    ?(checks = Check.Off) ?(estimate = Estimate.Prune) ?(incremental = true)
+    ?(route_incremental = true) ?(route_jobs = 1)
+    ?(cancel = Cals_util.Cancel.never) ~jobs ~subject ~library ~floorplan ~rng
+    () =
   if jobs <= 1 then
-    run ~k_schedule ?router_config ?strategy ~checks ~incremental
+    run ~k_schedule ?router_config ?strategy ~checks ~estimate ~incremental
       ~route_incremental ~route_jobs ~cancel ~subject ~library ~floorplan ~rng
       ()
   else begin
@@ -291,7 +349,7 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Span.with_ ~cat:"flow" ~meta:chunk_meta "flow.chunk" @@ fun () ->
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
-              evaluate_k ?router_config ?strategy ~checks ?session
+              evaluate_k ?router_config ?strategy ~checks ~estimate ?session
                 ?route_session ~cancel ~subject ~library ~floorplan ~positions
                 ~k ())
             (Array.of_list chunk)

@@ -12,6 +12,9 @@ type iteration = {
   utilization : float;  (** Of the floorplan core. *)
   hpwl_um : float;
   report : Cals_route.Congestion.report;
+  estimated : bool;
+      (** The report came from {!Cals_estimate.Estimate} instead of a
+          negotiated route (the route was pruned or triaged away). *)
 }
 
 type outcome = {
@@ -30,6 +33,7 @@ val run :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?estimate:Cals_estimate.Estimate.policy ->
   ?incremental:bool ->
   ?route_incremental:bool ->
   ?route_jobs:int ->
@@ -43,6 +47,19 @@ val run :
 (** Stops at the first acceptable congestion map. Iterations whose mapped
     netlist does not even fit the floorplan rows are recorded with an
     all-violations report and the loop moves on.
+
+    [estimate] (default [Prune]) runs the millisecond congestion forecast
+    ({!Cals_estimate.Estimate}) on every placed K point before routing.
+    Under [Prune] a confident [Unroutable] verdict skips the negotiated
+    route and records the estimator's report with [estimated = true];
+    estimated reports always carry violations, so a pruned point is never
+    accepted and the accepted K (and its QoR metrics) is bit-identical to
+    an [estimate:Off] sweep as long as the calibration holds — when a
+    forecast is wrong the sweep routes a point it could have skipped, it
+    never skips a point it should have routed and accepted. [Triage]
+    routes {e nothing} and accepts on the forecast alone (results marked
+    estimated) — the batch service's deepest degradation rung, not meant
+    for interactive use.
 
     [checks] (default [Off]) selects how much of the verification layer
     runs alongside the loop — see {!Cals_verify.Check.level}. Checks never
@@ -84,6 +101,7 @@ val run_parallel :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?estimate:Cals_estimate.Estimate.policy ->
   ?incremental:bool ->
   ?route_incremental:bool ->
   ?route_jobs:int ->
@@ -125,6 +143,7 @@ val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
   ?checks:Cals_verify.Check.level ->
+  ?estimate:Cals_estimate.Estimate.policy ->
   ?session:Incremental.session ->
   ?route_session:Cals_route.Router.Session.t ->
   ?route_pool:Cals_util.Pool.t ->

@@ -1,0 +1,304 @@
+module Geom = Cals_util.Geom
+module Grid2d = Cals_util.Grid2d
+module Rgrid = Cals_route.Rgrid
+module Router = Cals_route.Router
+module Congestion = Cals_route.Congestion
+module Mapped = Cals_netlist.Mapped
+module Metrics = Cals_telemetry.Metrics
+module Span = Cals_telemetry.Span
+
+let m_forecasts =
+  Metrics.counter ~help:"Congestion forecasts computed" "estimate_forecasts"
+
+let m_routable =
+  Metrics.counter ~help:"Forecasts with a confident Routable verdict"
+    "estimate_verdict_routable"
+
+let m_unroutable =
+  Metrics.counter ~help:"Forecasts with a confident Unroutable verdict"
+    "estimate_verdict_unroutable"
+
+let m_uncertain =
+  Metrics.counter ~help:"Forecasts near the boundary (or degenerate)"
+    "estimate_verdict_uncertain"
+
+let m_seconds =
+  Metrics.histogram ~help:"Wall seconds per forecast"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
+    "estimate_seconds"
+
+type verdict = Routable | Unroutable | Uncertain
+
+type policy = Off | Prune | Triage
+
+type maps = {
+  cols : int;
+  rows : int;
+  gcell_um : float;
+  wire_density : Grid2d.t;
+  pin_density : Grid2d.t;
+  supply : Grid2d.t;
+  utilization : Grid2d.t;
+}
+
+type forecast = {
+  maps : maps;
+  overflow_score : float;
+  normalized_overflow : float;
+  peak_utilization : float;
+  hot_fraction : float;
+  predicted_violations : int;
+  hpwl_um : float;
+  verdict : verdict;
+}
+
+(* ------------------------- calibration ------------------------- *)
+
+(* Fitted against the real router on the golden corpus (always routable,
+   utilization 0.42-0.53) and the SPLA/PDC presets at the congested
+   bench scales (DESIGN.md, Section 4k has the fitting table). The
+   margins are deliberately asymmetric: a wrong Unroutable would change
+   the sweep's accepted K, a wrong Routable merely wastes one real
+   route, and a wrong Uncertain only costs the route we would have paid
+   anyway. *)
+let pin_track_cost = 0.125
+let negotiation_relief = 0.5
+let unroutable_min_norm = 0.02
+let routable_max_norm = 1e-4
+let routable_max_peak = 0.8
+
+let verdict_of_scores ~degenerate ~normalized_overflow ~peak_utilization =
+  if degenerate then Uncertain
+  else if normalized_overflow >= unroutable_min_norm then Unroutable
+  else if
+    normalized_overflow <= routable_max_norm
+    && peak_utilization <= routable_max_peak
+  then Routable
+  else Uncertain
+
+(* The thresholds are meaningless when the grid barely exists or offers
+   no capacity, and a netlist with no two-pin net has no routing demand
+   to score — all three answer Uncertain rather than a confident guess. *)
+let degenerate_scores ~cols ~rows ~total_supply ~routable_nets =
+  cols * rows <= 4 || total_supply <= 1e-9 || routable_nets = 0
+
+let degenerate m =
+  let total_supply = Grid2d.total m.supply in
+  m.cols * m.rows <= 4 || total_supply <= 1e-9
+
+let verdict_to_string = function
+  | Routable -> "routable"
+  | Unroutable -> "unroutable"
+  | Uncertain -> "uncertain"
+
+let policy_to_string = function
+  | Off -> "off"
+  | Prune -> "on"
+  | Triage -> "triage"
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Ok Off
+  | "on" | "prune" -> Ok Prune
+  | "triage" -> Ok Triage
+  | other ->
+    Error (Printf.sprintf "unknown estimate policy %S (off, on, triage)" other)
+
+(* ------------------------- the forecast ------------------------- *)
+
+let clamp_int lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let forecast_pins ?(config = Router.default_config) ?density ~floorplan ~wire
+    nets =
+  Span.with_ ~cat:"estimate"
+    ~meta:(Printf.sprintf "%d nets" (Array.length nets))
+    "estimate.forecast"
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  Metrics.incr m_forecasts;
+  let cols, rows, gcell_um =
+    Rgrid.dims ~floorplan ~gcell_rows:config.Router.gcell_rows
+  in
+  let wire_density = Grid2d.create ~cols ~rows 0.0 in
+  let pin_density = Grid2d.create ~cols ~rows 0.0 in
+  let supply = Grid2d.create ~cols ~rows 0.0 in
+  (* Supply mirrors Rgrid.create's capacity model, folded per gcell: the
+     layers above M1 contribute [tracks] full track-lengths in each
+     direction, M1 contributes the share the standard cells leave over
+     (shrinking linearly with local cell density). *)
+  let tracks = gcell_um /. max 1e-9 wire.Cals_cell.Library.pitch_um in
+  let n_routing = max 0 (config.Router.layers - 1) in
+  let nh = float_of_int ((n_routing + 1) / 2) in
+  let nv = float_of_int (n_routing / 2) in
+  let density_at c r =
+    match density with
+    | None -> 0.0
+    | Some g ->
+      let c = clamp_int 0 (Grid2d.cols g - 1) c
+      and r = clamp_int 0 (Grid2d.rows g - 1) r in
+      Geom.clamp 0.0 1.0 (Grid2d.get g c r)
+  in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let d = density_at c r in
+      Grid2d.set supply c r
+        (tracks
+        *. (nh +. nv +. (2.0 *. config.Router.m1_free *. (1.0 -. d))))
+    done
+  done;
+  (* Same clamp as Rgrid.gcell_of_point, so pin gcells agree with the
+     grid the router would build. *)
+  let gcell_of (p : Geom.point) =
+    let c = clamp_int 0 (cols - 1) (int_of_float (p.Geom.x /. gcell_um)) in
+    let r = clamp_int 0 (rows - 1) (int_of_float (p.Geom.y /. gcell_um)) in
+    (c, r)
+  in
+  let hpwl_total = ref 0.0 in
+  let routable_nets = ref 0 in
+  Array.iter
+    (fun pins ->
+      match pins with
+      | [] -> ()
+      | first :: rest ->
+        let x0 = ref first.Geom.x and x1 = ref first.Geom.x in
+        let y0 = ref first.Geom.y and y1 = ref first.Geom.y in
+        let distinct = ref false in
+        let c0, r0 = gcell_of first in
+        Grid2d.add pin_density c0 r0 1.0;
+        Grid2d.add wire_density c0 r0 pin_track_cost;
+        List.iter
+          (fun (p : Geom.point) ->
+            if p.Geom.x < !x0 then x0 := p.Geom.x;
+            if p.Geom.x > !x1 then x1 := p.Geom.x;
+            if p.Geom.y < !y0 then y0 := p.Geom.y;
+            if p.Geom.y > !y1 then y1 := p.Geom.y;
+            let c, r = gcell_of p in
+            if c <> c0 || r <> r0 then distinct := true;
+            Grid2d.add pin_density c r 1.0;
+            Grid2d.add wire_density c r pin_track_cost)
+          rest;
+        if !distinct then incr routable_nets;
+        let hpwl = !x1 -. !x0 +. (!y1 -. !y0) in
+        hpwl_total := !hpwl_total +. hpwl;
+        if hpwl > 0.0 then begin
+          (* RUDY spread: the net's HPWL worth of wire, uniform over its
+             bounding box inflated by half a gcell per side (so zero-area
+             boxes — straight-line nets — still cover real area). *)
+          let half = gcell_um /. 2.0 in
+          let bx0 = !x0 -. half and bx1 = !x1 +. half in
+          let by0 = !y0 -. half and by1 = !y1 +. half in
+          let area = (bx1 -. bx0) *. (by1 -. by0) in
+          let c_lo = clamp_int 0 (cols - 1) (int_of_float (bx0 /. gcell_um)) in
+          let c_hi = clamp_int 0 (cols - 1) (int_of_float (bx1 /. gcell_um)) in
+          let r_lo = clamp_int 0 (rows - 1) (int_of_float (by0 /. gcell_um)) in
+          let r_hi = clamp_int 0 (rows - 1) (int_of_float (by1 /. gcell_um)) in
+          let per_area = hpwl /. max 1e-9 area /. gcell_um in
+          for r = r_lo to r_hi do
+            let gy0 = float_of_int r *. gcell_um in
+            let oy =
+              Float.min by1 (gy0 +. gcell_um) -. Float.max by0 gy0
+            in
+            if oy > 0.0 then
+              for c = c_lo to c_hi do
+                let gx0 = float_of_int c *. gcell_um in
+                let ox =
+                  Float.min bx1 (gx0 +. gcell_um) -. Float.max bx0 gx0
+                in
+                if ox > 0.0 then
+                  Grid2d.add wire_density c r (ox *. oy *. per_area)
+              done
+          done
+        end)
+    nets;
+  let utilization = Grid2d.create ~cols ~rows 0.0 in
+  let overflow = ref 0.0 in
+  let total_supply = ref 0.0 in
+  let peak = ref 0.0 in
+  let hot = ref 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let d = Grid2d.get wire_density c r in
+      let s = Grid2d.get supply c r in
+      total_supply := !total_supply +. s;
+      let u = d /. max 1e-9 s in
+      Grid2d.set utilization c r u;
+      if u > !peak then peak := u;
+      if u > Congestion.hot_threshold then incr hot;
+      if d > s then overflow := !overflow +. (d -. s)
+    done
+  done;
+  let normalized_overflow = !overflow /. max 1e-9 !total_supply in
+  let deg =
+    degenerate_scores ~cols ~rows ~total_supply:!total_supply
+      ~routable_nets:!routable_nets
+  in
+  let verdict =
+    verdict_of_scores ~degenerate:deg ~normalized_overflow
+      ~peak_utilization:!peak
+  in
+  Metrics.incr
+    (match verdict with
+    | Routable -> m_routable
+    | Unroutable -> m_unroutable
+    | Uncertain -> m_uncertain);
+  let predicted_violations =
+    match verdict with
+    | Routable -> 0
+    | Unroutable | Uncertain ->
+      let damped =
+        int_of_float (Float.round ((1.0 -. negotiation_relief) *. !overflow))
+      in
+      if verdict = Unroutable then max 1 damped else damped
+  in
+  let f =
+    {
+      maps =
+        { cols; rows; gcell_um; wire_density; pin_density; supply;
+          utilization };
+      overflow_score = !overflow;
+      normalized_overflow;
+      peak_utilization = !peak;
+      hot_fraction = float_of_int !hot /. float_of_int (max 1 (cols * rows));
+      predicted_violations;
+      hpwl_um = !hpwl_total;
+      verdict;
+    }
+  in
+  Metrics.observe m_seconds (Unix.gettimeofday () -. t0);
+  f
+
+let forecast_mapped ?config mapped ~floorplan ~wire
+    ~(placement : Cals_place.Placement.mapped_placement) =
+  (* Pin clusters and the cell-density map exactly as
+     Router.route_mapped derives them, so the forecast scores the same
+     geometry the router would route. *)
+  let density = Router.density_map ?config mapped ~floorplan ~placement in
+  let nets = Mapped.nets mapped in
+  let pos_of_signal = function
+    | Mapped.Of_pi i -> placement.Cals_place.Placement.pi_pos.(i)
+    | Mapped.Of_inst i -> placement.Cals_place.Placement.cell_pos.(i)
+  in
+  let pin_clusters =
+    Array.map
+      (fun net ->
+        match net.Mapped.sinks with
+        | [] -> []
+        | sinks ->
+          let sink_pos = function
+            | Mapped.Cell_pin (i, _) ->
+              placement.Cals_place.Placement.cell_pos.(i)
+            | Mapped.Po oi -> placement.Cals_place.Placement.po_pos.(oi)
+          in
+          pos_of_signal net.Mapped.driver :: List.map sink_pos sinks)
+      nets
+  in
+  forecast_pins ?config ~density ~floorplan ~wire pin_clusters
+
+let report f =
+  {
+    Congestion.violations = f.predicted_violations;
+    total_overflow = f.overflow_score;
+    max_utilization = f.peak_utilization;
+    congested_gcell_fraction = f.hot_fraction;
+    wirelength_um = f.hpwl_um;
+  }

@@ -8,8 +8,17 @@ type report = {
 
 let hot_threshold = 0.95
 
-let of_result (r : Router.result) =
+let gcell_map (r : Router.result) = Rgrid.congestion_map r.Router.grid
+
+let gcell (r : Router.result) c rr =
   let map = Rgrid.congestion_map r.Router.grid in
+  if c < 0 || rr < 0 || c >= Cals_util.Grid2d.cols map
+     || rr >= Cals_util.Grid2d.rows map
+  then invalid_arg "Congestion.gcell: out of bounds"
+  else Cals_util.Grid2d.get map c rr
+
+let of_result (r : Router.result) =
+  let map = gcell_map r in
   let hot, total =
     Cals_util.Grid2d.fold
       (fun _ _ v (hot, total) ->
@@ -30,8 +39,7 @@ let of_result (r : Router.result) =
    capacity. *)
 let acceptable r = r.violations = 0
 
-let ascii_map (r : Router.result) =
-  Cals_util.Grid2d.render_ascii (Rgrid.congestion_map r.Router.grid)
+let ascii_map (r : Router.result) = Cals_util.Grid2d.render_ascii (gcell_map r)
 
 let summary r =
   Printf.sprintf

@@ -21,6 +21,16 @@ val of_result : Router.result -> report
 val acceptable : report -> bool
 (** The Figure-3 predicate: fully routable (zero violations). *)
 
+val gcell_map : Router.result -> Cals_util.Grid2d.t
+(** Per-gcell utilization (max over the gcell's incident edges) as a
+    fresh grid the caller owns — the read-only view of the routed
+    congestion map, so consumers (estimator calibration, [--dump-congestion],
+    tests) no longer reach into the router's grid. *)
+
+val gcell : Router.result -> int -> int -> float
+(** [gcell r c row] is one cell of {!gcell_map}. Raises [Invalid_argument]
+    out of bounds. *)
+
 val ascii_map : Router.result -> string
 (** Heat map of gcell utilization, rows printed top-down. *)
 

@@ -3,6 +3,7 @@ module Mapped = Cals_netlist.Mapped
 module Floorplan = Cals_place.Floorplan
 module Placement = Cals_place.Placement
 module Congestion = Cals_route.Congestion
+module Estimate = Cals_estimate.Estimate
 module Flow = Cals_core.Flow
 module Incremental = Cals_core.Incremental
 module Check = Cals_verify.Check
@@ -45,8 +46,13 @@ let m_degraded =
 let m_queue_depth = Metrics.gauge ~help:"Queued jobs" "serve_queue_depth"
 
 let m_degradation =
-  Metrics.gauge ~help:"Degradation ladder step (0/1/2)"
+  Metrics.gauge ~help:"Degradation ladder step (0/1/2/3)"
     "serve_degradation_level"
+
+let m_triaged =
+  Metrics.counter
+    ~help:"Runs dispatched estimator-only (degradation level 3)"
+    "serve_jobs_triaged"
 
 let m_job_seconds =
   Metrics.histogram ~help:"Wall seconds per completed job"
@@ -61,6 +67,7 @@ type config = {
   backoff_s : float;
   high_watermark : int;
   overload_watermark : int;
+  triage_watermark : int;
   degraded_k_points : int;
   watch : bool;
   tick_s : float;
@@ -75,6 +82,7 @@ let default_config =
     backoff_s = 0.05;
     high_watermark = 8;
     overload_watermark = 16;
+    triage_watermark = 32;
     degraded_k_points = 6;
     watch = false;
     tick_s = 0.1;
@@ -310,9 +318,17 @@ let get_design t spec =
 (* ------------------------- degradation ladder ------------------------- *)
 
 let degradation_level t ~depth =
-  if depth >= t.config.overload_watermark then 2
+  if depth >= t.config.triage_watermark then 3
+  else if depth >= t.config.overload_watermark then 2
   else if depth >= t.config.high_watermark then 1
   else 0
+
+(* Level 3 is the deepest rung: no job routes at all — acceptance is
+   decided on the congestion forecast and the results are marked
+   estimated. Cheaper than capping K points, because the capped schedule
+   still pays one negotiated route per point. *)
+let estimate_policy level =
+  if level >= 3 then Estimate.Triage else Estimate.Prune
 
 let degraded_checks level checks =
   match (level, checks) with
@@ -348,6 +364,7 @@ type run_metrics = {
   checks_run : Check.level;
   degrade_level : int;
   k_capped : bool;
+  estimated : bool;
 }
 
 type run_result = Success of run_metrics | Fault of Job.fault
@@ -356,14 +373,14 @@ type run_result = Success of run_metrics | Fault of Job.fault
    acceptable congestion map; Cheap defers equivalence to the netlist the
    job ships, exactly like [Flow.run] (Full already checked every K
    inside [evaluate_k]). *)
-let run_schedule ~cancel ~checks ~design schedule =
+let run_schedule ~cancel ~checks ~estimate ~design schedule =
   let { subject; floorplan; positions; session } = design in
   let rec loop acc = function
     | [] -> (List.rev acc, None, None)
     | k :: rest ->
       Cancel.check cancel;
       let iteration, (mapped, _placement, _routing) =
-        Flow.evaluate_k ~checks ~session
+        Flow.evaluate_k ~checks ~estimate ~session
           ~route_session:(Incremental.route_session session)
           ~cancel ~subject ~library ~floorplan ~positions ~k ()
       in
@@ -413,7 +430,9 @@ let metrics_json (job : Job.t) (m : run_metrics) =
             ("level", Proto.Num (float_of_int m.degrade_level));
             ("checks_shed", Proto.Bool (m.checks_run <> spec.Proto.checks));
             ("k_capped", Proto.Bool m.k_capped);
+            ("triage", Proto.Bool (m.degrade_level >= 3));
           ] );
+      ("estimated", Proto.Bool m.estimated);
     ]
 
 let write_success_artifacts t (job : Job.t) m mapped =
@@ -453,8 +472,10 @@ let run_job t ~level (job : Job.t) =
       Option.value spec.Proto.k_schedule ~default:Flow.default_k_schedule
     in
     let schedule, k_capped = cap_schedule t level schedule in
+    let estimate = estimate_policy level in
+    if estimate = Estimate.Triage then Metrics.incr m_triaged;
     let iterations, accepted, mapped =
-      run_schedule ~cancel ~checks ~design schedule
+      run_schedule ~cancel ~checks ~estimate ~design schedule
     in
     let stats1 = Incremental.stats design.session in
     let m =
@@ -475,6 +496,10 @@ let run_job t ~level (job : Job.t) =
         checks_run = checks;
         degrade_level = level;
         k_capped;
+        estimated =
+          (match accepted with
+          | Some it -> it.Flow.estimated
+          | None -> false);
       }
     in
     write_success_artifacts t job m mapped;

@@ -31,11 +31,14 @@
 
     {2 Graceful degradation}
 
-    Queue depth drives a two-step ladder, re-read at every round:
+    Queue depth drives a three-step ladder, re-read at every round:
     at [high_watermark] jobs shed [Full] checks to [Cheap]; at
     [overload_watermark] checks turn [Off] and K schedules are capped at
-    [degraded_k_points] points. Degraded jobs complete (their metrics
-    record what was shed) instead of the queue collapsing behind
+    [degraded_k_points] points; at [triage_watermark] jobs run
+    estimator-only ({!Cals_estimate.Estimate.Triage}) — no point routes
+    at all, acceptance is decided on the congestion forecast and the
+    job's metrics carry [estimated: true]. Degraded jobs complete (their
+    metrics record what was shed) instead of the queue collapsing behind
     expensive stragglers. *)
 
 type config = {
@@ -48,6 +51,11 @@ type config = {
   high_watermark : int;  (** Queue depth that sheds [Full] -> [Cheap]. *)
   overload_watermark : int;
       (** Queue depth that turns checks [Off] and caps the K schedule. *)
+  triage_watermark : int;
+      (** Queue depth past which jobs run estimator-only: the K schedule
+          is still capped, but no point pays a negotiated route —
+          congestion forecasts decide acceptance and results are marked
+          estimated. *)
   degraded_k_points : int;  (** Schedule cap under overload. *)
   watch : bool;
       (** Keep polling the spool when the queue drains (daemon mode)
@@ -57,8 +65,8 @@ type config = {
 
 val default_config : config
 (** [jobs = 1], [out_dir = "cals-serve-out"], no default deadline,
-    3 attempts, 50 ms backoff, watermarks 8 / 16, 6 degraded K points,
-    one-shot drain, 100 ms tick. *)
+    3 attempts, 50 ms backoff, watermarks 8 / 16 / 32, 6 degraded K
+    points, one-shot drain, 100 ms tick. *)
 
 type summary = {
   submitted : int;

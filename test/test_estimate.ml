@@ -1,0 +1,404 @@
+(* lib/estimate: the millisecond congestion forecast. The golden-corpus
+   differential pins a minimum rank correlation between the estimated
+   and the routed per-gcell utilization maps at every K; qcheck
+   properties pin monotonicity under added demand and the pruning
+   soundness contract (a pruned sweep's accepted K is bit-identical to
+   an unpruned one over the full default schedule); degenerate inputs
+   must answer Uncertain instead of raising. *)
+
+module Estimate = Cals_estimate.Estimate
+module Flow = Cals_core.Flow
+module Congestion = Cals_route.Congestion
+module Router = Cals_route.Router
+module Rgrid = Cals_route.Rgrid
+module Subject = Cals_netlist.Subject
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Library = Cals_cell.Library
+module Grid2d = Cals_util.Grid2d
+module Geom = Cals_util.Geom
+module Gen = Cals_workload.Gen
+module Rng = Cals_util.Rng
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Library.geometry lib
+let wire = Library.wire lib
+
+let golden_dir =
+  Option.value (Sys.getenv_opt "CALS_GOLDEN_DIR") ~default:"golden"
+
+let subject_of net =
+  Cals_logic.Network.sweep net;
+  Cals_logic.Decompose.subject_of_network net
+
+(* The golden suite's floorplan recipe, so the differential here scores
+   exactly the placements test_golden.ml snapshots. *)
+let workload_of ?(utilization = 0.45) subject =
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization ~aspect:1.0 ~geometry
+  in
+  let positions =
+    Placement.place_subject subject ~floorplan ~rng:(Rng.create 42)
+  in
+  (floorplan, positions)
+
+(* ------------------------- rank correlation ------------------------- *)
+
+let flatten g =
+  let cols = Grid2d.cols g and rows = Grid2d.rows g in
+  Array.init (cols * rows) (fun i -> Grid2d.get g (i mod cols) (i / cols))
+
+(* Spearman rank correlation with average ranks for ties. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b =
+  let ra = ranks a and rb = ranks b in
+  let n = float_of_int (Array.length a) in
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. n in
+  let ma = mean ra and mb = mean rb in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      let x = ra.(i) -. ma and y = rb.(i) -. mb in
+      num := !num +. (x *. y);
+      da := !da +. (x *. x);
+      db := !db +. (y *. y))
+    ra;
+  if !da = 0.0 || !db = 0.0 then 0.0 else !num /. sqrt (!da *. !db)
+
+let golden_designs =
+  [
+    "pla_shared_08"; "pla_wide_10"; "ml_control_10"; "ml_deep_08";
+    "pla_small_06";
+  ]
+
+let golden_k_points = [ 0.0; 0.0005; 0.001; 0.005; 0.01; 0.1 ]
+
+(* Measured floor: the worst design-K pair of the corpus sits at 0.49
+   (ml_control_10, K=0); most pairs score 0.75-0.96. Any estimator
+   change that drags a pair under 0.4 has stopped ranking hotspots the
+   way the router experiences them. *)
+let min_rho = 0.4
+
+let test_golden_rank_correlation () =
+  List.iter
+    (fun name ->
+      let subject =
+        subject_of
+          (Cals_logic.Blif.read_file
+             (Filename.concat golden_dir (name ^ ".blif")))
+      in
+      let floorplan, positions = workload_of subject in
+      List.iter
+        (fun k ->
+          let _it, (mapped, placement, routing) =
+            Flow.evaluate_k ~estimate:Estimate.Off ~subject ~library:lib
+              ~floorplan ~positions ~k ()
+          in
+          match (placement, routing) with
+          | Some placement, Some routing ->
+            let f =
+              Estimate.forecast_mapped mapped ~floorplan ~wire ~placement
+            in
+            let rho =
+              spearman
+                (flatten f.Estimate.maps.Estimate.utilization)
+                (flatten (Congestion.gcell_map routing))
+            in
+            if rho < min_rho then
+              Alcotest.failf
+                "%s K=%g: estimated/routed utilization rank correlation \
+                 %.3f below the %.2f floor"
+                name k rho min_rho;
+            (* The whole corpus routes with zero violations, and the
+               calibration must say so confidently. *)
+            if f.Estimate.verdict <> Estimate.Routable then
+              Alcotest.failf "%s K=%g: golden corpus verdict %s, not routable"
+                name k
+                (Estimate.verdict_to_string f.Estimate.verdict)
+          | _ -> Alcotest.failf "%s K=%g did not route" name k)
+        golden_k_points)
+    golden_designs
+
+(* ------------------------- pruning ------------------------- *)
+
+(* Two metal layers halve the supply, so this PLA at 0.85 utilization is
+   confidently over capacity at K >= 0.01 — the pruner must actually
+   skip there, and the sweep's QoR must not move. *)
+let congested_config =
+  { Router.default_config with Router.layers = 2 }
+
+let congested_subject () =
+  subject_of (Gen.pla ~rng:(Rng.create 301) ~inputs:8 ~outputs:6 ~products:40 ())
+
+let same_iteration (a : Flow.iteration) (b : Flow.iteration) =
+  a.Flow.k = b.Flow.k && a.Flow.cells = b.Flow.cells
+  && a.Flow.cell_area = b.Flow.cell_area
+  && a.Flow.hpwl_um = b.Flow.hpwl_um
+
+let test_prune_skips_and_preserves_qor () =
+  let subject = congested_subject () in
+  let floorplan, _ = workload_of ~utilization:0.85 subject in
+  let k_schedule = [ 0.0; 0.01; 0.1 ] in
+  let run estimate =
+    Flow.run ~k_schedule ~router_config:congested_config ~estimate ~subject
+      ~library:lib ~floorplan ~rng:(Rng.create 7) ()
+  in
+  let off = run Estimate.Off and pruned = run Estimate.Prune in
+  let skipped =
+    List.filter (fun it -> it.Flow.estimated) pruned.Flow.iterations
+  in
+  Alcotest.(check bool)
+    "the pruner skipped at least one negotiated route" true
+    (skipped <> []);
+  Alcotest.(check bool)
+    "an unpruned sweep routes everything" true
+    (List.for_all
+       (fun it -> not it.Flow.estimated)
+       off.Flow.iterations);
+  (* Skipped points always carry violations, so none of them can be the
+     accepted one. *)
+  List.iter
+    (fun it ->
+      Alcotest.(check bool)
+        "a skipped point carries violations" true
+        (it.Flow.report.Congestion.violations > 0))
+    skipped;
+  Alcotest.(check int) "same schedule walked"
+    (List.length off.Flow.iterations)
+    (List.length pruned.Flow.iterations);
+  List.iter2
+    (fun o p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "K=%g netlist metrics identical" o.Flow.k)
+        true (same_iteration o p))
+    off.Flow.iterations pruned.Flow.iterations;
+  match (off.Flow.accepted, pruned.Flow.accepted) with
+  | None, None -> ()
+  | Some o, Some p ->
+    Alcotest.(check bool) "accepted iteration identical" true
+      (same_iteration o p && o.Flow.report = p.Flow.report);
+    Alcotest.(check bool) "accepted point was really routed" true
+      (not p.Flow.estimated)
+  | _ -> Alcotest.fail "pruning moved the accepted K"
+
+(* The soundness contract over the paper's full 14-point ladder, on
+   random workloads spanning comfortably-routable and over-capacity
+   floorplans: the pruned sweep's accepted iteration — and the schedule
+   prefix it walked — must be bit-identical to the unpruned sweep's. *)
+let prop_pruned_accepted_identical =
+  QCheck.Test.make ~count:6
+    ~name:"pruned sweep == unpruned sweep on the full default schedule"
+    QCheck.(
+      triple (int_range 0 10_000) (int_range 0 2) (int_range 0 1))
+    (fun (seed, crowd, fam) ->
+      let family = if fam = 0 then `Pla else `Multilevel in
+      let subject =
+        subject_of (Gen.of_fuzz ~family ~seed ~inputs:6 ~outputs:3 ~size:14)
+      in
+      let utilization = [| 0.45; 0.65; 0.85 |].(crowd) in
+      let layers = if crowd = 2 then 2 else 3 in
+      let router_config = { Router.default_config with Router.layers } in
+      let floorplan, _ = workload_of ~utilization subject in
+      let run estimate =
+        Flow.run ~router_config ~estimate ~subject ~library:lib ~floorplan
+          ~rng:(Rng.create (seed + 1)) ()
+      in
+      let off = run Estimate.Off and pruned = run Estimate.Prune in
+      if List.length off.Flow.iterations <> List.length pruned.Flow.iterations
+      then
+        QCheck.Test.fail_reportf
+          "seed %d: pruned sweep walked %d points, unpruned %d" seed
+          (List.length pruned.Flow.iterations)
+          (List.length off.Flow.iterations);
+      (match (off.Flow.accepted, pruned.Flow.accepted) with
+      | None, None -> ()
+      | Some o, Some p ->
+        if not (same_iteration o p && o.Flow.report = p.Flow.report) then
+          QCheck.Test.fail_reportf
+            "seed %d: accepted K moved (unpruned %g, pruned %g)" seed o.Flow.k
+            p.Flow.k;
+        if p.Flow.estimated then
+          QCheck.Test.fail_reportf
+            "seed %d: accepted iteration was not really routed" seed
+      | o, p ->
+        QCheck.Test.fail_reportf "seed %d: acceptance differs (%s vs %s)" seed
+          (match o with Some _ -> "accepted" | None -> "rejected")
+          (match p with Some _ -> "accepted" | None -> "rejected"));
+      true)
+
+(* ------------------------- monotonicity ------------------------- *)
+
+let arb_nets floorplan =
+  let die_w = floorplan.Floorplan.die_width
+  and die_h = floorplan.Floorplan.die_height in
+  let open QCheck in
+  let point =
+    map
+      (fun (fx, fy) -> { Geom.x = fx *. die_w; y = fy *. die_h })
+      (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+  in
+  let net = list_of_size Gen.(2 -- 5) point in
+  list_of_size Gen.(0 -- 20) net
+
+(* More nets can only add demand: both the overflow score and the total
+   wire density are monotone under net insertion. *)
+let prop_estimate_monotone =
+  let floorplan = Floorplan.of_rows ~num_rows:12 ~sites_per_row:60 ~geometry in
+  QCheck.Test.make ~count:100
+    ~name:"forecast demand is monotone under added nets"
+    QCheck.(pair (arb_nets floorplan) (arb_nets floorplan))
+    (fun (base, extra) ->
+      let forecast nets =
+        Estimate.forecast_pins ~floorplan ~wire (Array.of_list nets)
+      in
+      let f0 = forecast base and f1 = forecast (base @ extra) in
+      if f1.Estimate.overflow_score < f0.Estimate.overflow_score then
+        QCheck.Test.fail_reportf "overflow score shrank: %g -> %g"
+          f0.Estimate.overflow_score f1.Estimate.overflow_score;
+      let demand f = Grid2d.total f.Estimate.maps.Estimate.wire_density in
+      if demand f1 < demand f0 then
+        QCheck.Test.fail_reportf "wire demand shrank: %g -> %g" (demand f0)
+          (demand f1);
+      if f1.Estimate.peak_utilization < f0.Estimate.peak_utilization then
+        QCheck.Test.fail_reportf "peak utilization shrank: %g -> %g"
+          f0.Estimate.peak_utilization f1.Estimate.peak_utilization;
+      true)
+
+(* ------------------------- degenerate inputs ------------------------- *)
+
+let test_degenerate_inputs () =
+  let check_uncertain what f =
+    let forecast = try f () with exn ->
+      Alcotest.failf "%s raised %s" what (Printexc.to_string exn)
+    in
+    Alcotest.(check string) (what ^ " answers Uncertain") "uncertain"
+      (Estimate.verdict_to_string forecast.Estimate.verdict)
+  in
+  (* A single-site floorplan folds to (almost) a single gcell: the grid
+     is too small for the thresholds to mean anything. *)
+  let tiny = Floorplan.of_rows ~num_rows:1 ~sites_per_row:1 ~geometry in
+  check_uncertain "a single-site floorplan" (fun () ->
+      Estimate.forecast_pins ~floorplan:tiny ~wire
+        [| [ { Geom.x = 0.1; y = 0.1 }; { Geom.x = 0.4; y = 0.2 } ] |]);
+  let plan = Floorplan.of_rows ~num_rows:10 ~sites_per_row:50 ~geometry in
+  (* No nets at all, and nets whose pins never leave their gcell: there
+     is no routing demand to score. *)
+  check_uncertain "an empty netlist" (fun () ->
+      Estimate.forecast_pins ~floorplan:plan ~wire [||]);
+  check_uncertain "one-pin nets" (fun () ->
+      Estimate.forecast_pins ~floorplan:plan ~wire
+        [| [ { Geom.x = 5.0; y = 5.0 } ]; []; [ { Geom.x = 40.0; y = 3.0 } ] |]);
+  check_uncertain "zero-area nets inside one gcell" (fun () ->
+      Estimate.forecast_pins ~floorplan:plan ~wire
+        [| [ { Geom.x = 1.0; y = 1.0 }; { Geom.x = 1.0; y = 1.0 } ] |]);
+  (* Pins off the die clamp into the boundary gcells instead of raising. *)
+  let f =
+    Estimate.forecast_pins ~floorplan:plan ~wire
+      [|
+        [ { Geom.x = -50.0; y = -50.0 }; { Geom.x = 1e6; y = 1e6 } ];
+        [ { Geom.x = 0.0; y = 0.0 }; { Geom.x = 30.0; y = 30.0 } ];
+      |]
+  in
+  Alcotest.(check bool) "off-die pins clamp into the grid" true
+    (f.Estimate.overflow_score >= 0.0);
+  Alcotest.(check bool) "off-die demand lands in the maps" true
+    (Grid2d.total f.Estimate.maps.Estimate.pin_density > 0.0)
+
+let test_verdict_thresholds () =
+  let v = Estimate.verdict_of_scores in
+  Alcotest.(check string) "degenerate forces uncertain" "uncertain"
+    (Estimate.verdict_to_string
+       (v ~degenerate:true ~normalized_overflow:0.0 ~peak_utilization:0.0));
+  Alcotest.(check string) "clean map is routable" "routable"
+    (Estimate.verdict_to_string
+       (v ~degenerate:false ~normalized_overflow:0.0 ~peak_utilization:0.5));
+  Alcotest.(check string) "overflow past the floor is unroutable" "unroutable"
+    (Estimate.verdict_to_string
+       (v ~degenerate:false
+          ~normalized_overflow:Estimate.unroutable_min_norm
+          ~peak_utilization:0.5));
+  Alcotest.(check string) "boundary overflow is uncertain" "uncertain"
+    (Estimate.verdict_to_string
+       (v ~degenerate:false
+          ~normalized_overflow:(Estimate.unroutable_min_norm /. 2.0)
+          ~peak_utilization:0.5));
+  Alcotest.(check string) "hot peak blocks a routable verdict" "uncertain"
+    (Estimate.verdict_to_string
+       (v ~degenerate:false ~normalized_overflow:0.0
+          ~peak_utilization:(Estimate.routable_max_peak +. 0.01)));
+  (* The calibration's soundness margin: the confident bands must not
+     touch (see DESIGN.md, Section 4k). *)
+  Alcotest.(check bool) "a dead band separates the confident verdicts" true
+    (Estimate.unroutable_min_norm > 10.0 *. Estimate.routable_max_norm)
+
+(* ------------------------- the gcell accessor ------------------------- *)
+
+let test_gcell_accessor () =
+  let subject = subject_of (Gen.of_fuzz ~family:`Pla ~seed:11 ~inputs:6 ~outputs:3 ~size:12) in
+  let floorplan, positions = workload_of ~utilization:0.55 subject in
+  let _it, (_, _, routing) =
+    Flow.evaluate_k ~estimate:Estimate.Off ~subject ~library:lib ~floorplan
+      ~positions ~k:0.0 ()
+  in
+  let routing =
+    match routing with Some r -> r | None -> Alcotest.fail "did not route"
+  in
+  let map = Congestion.gcell_map routing in
+  let cols, rows, _ = Rgrid.dims ~floorplan ~gcell_rows:Router.default_config.Router.gcell_rows in
+  Alcotest.(check int) "map cols match the router grid" cols (Grid2d.cols map);
+  Alcotest.(check int) "map rows match the router grid" rows (Grid2d.rows map);
+  Grid2d.iter
+    (fun c r v ->
+      if Congestion.gcell routing c r <> v then
+        Alcotest.failf "gcell (%d,%d) disagrees with gcell_map" c r)
+    map;
+  List.iter
+    (fun (c, r) ->
+      match Congestion.gcell routing c r with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "gcell (%d,%d) out of bounds did not raise" c r)
+    [ (-1, 0); (0, -1); (cols, 0); (0, rows) ]
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "estimate"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "rank-correlation" `Quick
+            test_golden_rank_correlation;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "skips-and-preserves-qor" `Quick
+            test_prune_skips_and_preserves_qor;
+          qc prop_pruned_accepted_identical;
+        ] );
+      ("properties", [ qc prop_estimate_monotone ]);
+      ( "degenerate",
+        [
+          Alcotest.test_case "inputs" `Quick test_degenerate_inputs;
+          Alcotest.test_case "thresholds" `Quick test_verdict_thresholds;
+        ] );
+      ("congestion", [ Alcotest.test_case "gcell-accessor" `Quick test_gcell_accessor ]);
+    ]

@@ -269,6 +269,53 @@ let test_degradation () =
   Alcotest.(check bool) "schedule capped" true
     (Proto.member "k_capped" degradation = Some (Proto.Bool true))
 
+(* Past the triage watermark the ladder's deepest rung answers from the
+   congestion forecast alone: jobs still complete, and their artifacts
+   say the result is estimated, not routed. *)
+let test_triage () =
+  let out = fresh_out () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.jobs = 2;
+      out_dir = out;
+      high_watermark = 1;
+      overload_watermark = 1;
+      triage_watermark = 1;
+    }
+  in
+  let scheduler = Scheduler.create config in
+  for i = 0 to 3 do
+    Scheduler.submit scheduler
+      (workload_spec
+         ~id:(Printf.sprintf "triage-%d" i)
+         ~seed:3
+         ~k_schedule:[ 0.0; 0.001 ]
+         ())
+  done;
+  let s = Scheduler.drain scheduler () in
+  Alcotest.(check int) "all complete under triage" 4 s.Scheduler.completed;
+  let metrics = parse_file (Filename.concat out "triage-0/metrics.json") in
+  let degradation =
+    match Proto.member "degradation" metrics with
+    | Some d -> d
+    | None -> Alcotest.fail "metrics.json has no degradation object"
+  in
+  Alcotest.(check int) "deepest rung recorded" 3
+    (int_of_float (num_member "level" degradation));
+  Alcotest.(check bool) "triage flagged" true
+    (Proto.member "triage" degradation = Some (Proto.Bool true));
+  Alcotest.(check bool) "result marked estimated" true
+    (Proto.member "estimated" metrics = Some (Proto.Bool true));
+  (* Triage still accepts this comfortably-routable workload — on the
+     forecast, with zero predicted violations. *)
+  Alcotest.(check bool) "accepted on the forecast" true
+    (match Proto.member "accepted_k" metrics with
+    | Some (Proto.Num _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "forecast predicts a clean map" true
+    (Proto.member "violations" metrics = Some (Proto.Num 0.0))
+
 (* A malformed spool line is rejected, recorded, and does not poison the
    rest of the batch. *)
 let test_spool_and_parse_errors () =
@@ -309,6 +356,7 @@ let () =
         [
           Alcotest.test_case "drain-mixed" `Quick test_drain_mixed;
           Alcotest.test_case "degradation" `Quick test_degradation;
+          Alcotest.test_case "triage" `Quick test_triage;
           Alcotest.test_case "spool" `Quick test_spool_and_parse_errors;
         ] );
     ]
