@@ -584,6 +584,62 @@ let perf_report ~scale ~jobs ~json =
     estimate_accuracy pruned_speedup accepted_k_identical;
   if not accepted_k_identical then
     print_endline "  WARNING: pruned sweep changed the accepted K point";
+  (* Adaptive K search: bisect the ladder on forecast verdicts, then
+     confirm with real routes from the frontier up. Must accept the
+     bit-identical K point with a handful of routes instead of one per
+     schedule point. *)
+  let (adaptive, astats), adaptive_s =
+    wall (fun () ->
+        Flow.run_adaptive ~router_config ~subject ~library ~floorplan
+          ~rng:(Rng.create 22) ())
+  in
+  let adaptive_speedup = seq_s /. max 1e-9 adaptive_s in
+  let adaptive_identical =
+    Option.map iteration_sig seq.Flow.accepted
+    = Option.map iteration_sig adaptive.Flow.accepted
+  in
+  Printf.printf
+    "  adaptive search: %.3fs (%d real routes, %d forecast evals), speedup \
+     %.2fx vs unpruned, accepted K identical=%b\n"
+    adaptive_s astats.Flow.real_routes astats.Flow.forecast_evals
+    adaptive_speedup adaptive_identical;
+  if not adaptive_identical then
+    print_endline "  WARNING: adaptive search changed the accepted K point";
+  (* Timing-driven covering: post-route critical path of the accepted-K
+     netlist (K=0 when the sweep accepted nothing) with the fitted weight
+     against the T=0 baseline — the Table 3/5 trend as a guarded number. *)
+  let timing_k =
+    match seq.Flow.accepted with Some it -> it.Flow.k | None -> 0.0
+  in
+  let timing_weight = Mapper.default_timing_weight in
+  let crit_at ~t =
+    let r =
+      Mapper.map subject ~library ~positions:circuit.positions
+        { (Mapper.congestion_aware ~k:timing_k) with Mapper.t }
+    in
+    let mapped = r.Mapper.mapped in
+    match Placement.place_mapped_seeded mapped ~floorplan with
+    | exception Cals_place.Legalize.Overflow _ -> None
+    | placement ->
+      let routing =
+        Router.route_mapped ~config:router_config mapped ~floorplan ~wire
+          ~placement
+      in
+      let report =
+        Sta.analyze ~net_length_um:routing.Router.net_length_um mapped ~wire
+          ~placement
+      in
+      Some report.Sta.critical.Sta.arrival_ns
+  in
+  let baseline_ns = crit_at ~t:0.0 in
+  let timing_ns = crit_at ~t:timing_weight in
+  (match (baseline_ns, timing_ns) with
+  | Some b, Some t ->
+    Printf.printf
+      "  timing-driven covering @ K=%g: T=0 %.3f ns -> T=%g %.3f ns (%s)\n"
+      timing_k b timing_weight t
+      (if t <= b then "no worse" else "WORSE")
+  | _ -> print_endline "  timing-driven covering: netlist did not legalize");
   (* Cold vs incremental mapping sweep: the match cache's win — one match
      phase, then only the cost-combination DP per K point. Placement and
      routing are untouched by the engine, so the pair times the mapping
@@ -693,7 +749,7 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 5,\n\
+      \  \"schema\": 6,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -733,7 +789,23 @@ let perf_report ~scale ~jobs ~json =
       \      \"pruned_s\": %.6f,\n\
       \      \"speedup\": %.3f,\n\
       \      \"accepted_k_identical\": %b\n\
+      \    },\n\
+      \    \"adaptive\": {\n\
+      \      \"real_routes\": %d,\n\
+      \      \"forecast_evals\": %d,\n\
+      \      \"frontier_k\": %s,\n\
+      \      \"adaptive_s\": %.6f,\n\
+      \      \"speedup\": %.3f,\n\
+      \      \"accepted_k_identical\": %b\n\
       \    }\n\
+      \  },\n\
+      \  \"timing\": {\n\
+      \    \"t\": %g,\n\
+      \    \"k\": %g,\n\
+      \    \"baseline_ns\": %s,\n\
+      \    \"timing_ns\": %s,\n\
+      \    \"critical_path_ps\": %s,\n\
+      \    \"improved\": %b\n\
       \  },\n\
       \  \"route\": {\n\
       \    \"placements\": %d,\n\
@@ -762,6 +834,23 @@ let perf_report ~scale ~jobs ~json =
       cold_s inc_s sweep_speedup cache_hit_rate sweep_identical routes_skipped
       (List.length pruned.Flow.iterations)
       estimate_accuracy pruned_s pruned_speedup accepted_k_identical
+      astats.Flow.real_routes astats.Flow.forecast_evals
+      (match astats.Flow.frontier_k with
+      | Some k -> Printf.sprintf "%g" k
+      | None -> "null")
+      adaptive_s adaptive_speedup adaptive_identical timing_weight timing_k
+      (match baseline_ns with
+      | Some ns -> Printf.sprintf "%.6f" ns
+      | None -> "null")
+      (match timing_ns with
+      | Some ns -> Printf.sprintf "%.6f" ns
+      | None -> "null")
+      (match timing_ns with
+      | Some ns -> Printf.sprintf "%.3f" (1000.0 *. ns)
+      | None -> "null")
+      (match (baseline_ns, timing_ns) with
+      | Some b, Some t -> t <= b
+      | _ -> false)
       (List.length fixtures)
       route_cold_s route_warm_s route_speedup warm_hit_rate
       rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted
@@ -913,6 +1002,7 @@ let micro_benchmarks () =
           checks = Check.Off;
           utilization = 0.55;
           optimize = false;
+          timing = None;
           deadline_s = None;
         }
     done;

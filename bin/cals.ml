@@ -173,31 +173,42 @@ let dump_congestion path ~subject ~floorplan ~positions ~k =
       k
 
 let run_flow verbosity input scale seed optimize utilization jobs checks
-    estimate dump incremental route_incremental route_jobs trace metrics =
+    estimate timing adaptive dump incremental route_incremental route_jobs
+    trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
   let _, subject = prepare input scale seed optimize in
   let floorplan = floorplan_of subject utilization in
+  let t = Option.value timing ~default:0.0 in
   Printf.printf "die: %s\n" (Floorplan.describe floorplan);
+  if t > 0.0 then
+    Printf.printf "timing-driven covering: T=%g (cost AREA + K*WIRE + T*DELAY)\n"
+      t;
   if checks <> Check.Off then
     Printf.printf "verification checks: %s\n" (Check.level_to_string checks);
   if not incremental then
     print_endline "incremental K-loop engine disabled (cold re-mapping per K)";
   if not route_incremental then
     print_endline "router session disabled (cold routing per K)";
-  (match estimate with
-  | Estimate.Off ->
-    print_endline "congestion estimator disabled (every K point routes)"
-  | Estimate.Prune -> ()
-  | Estimate.Triage ->
-    print_endline
-      "estimator-only triage: no K point routes, results are forecasts");
+  let adaptive = adaptive && jobs <= 1 in
+  (if adaptive then
+     print_endline
+       "adaptive K search: bisect on forecasts, confirm with real routes"
+   else
+     match estimate with
+     | Estimate.Off ->
+       print_endline "congestion estimator disabled (every K point routes)"
+     | Estimate.Prune -> ()
+     | Estimate.Triage ->
+       print_endline
+         "estimator-only triage: no K point routes, results are forecasts");
   if route_jobs > 1 then
     if jobs > 1 then
       print_endline "--route-jobs ignored with --jobs > 1 (pools cannot nest)"
     else
       Printf.printf "routing rip-up waves on %d domains\n" route_jobs;
   let rng = Cals_util.Rng.create (seed + 1) in
+  let adaptive_stats = ref None in
   let outcome =
     try
       Ok
@@ -205,11 +216,19 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
            Printf.printf
              "evaluating the K schedule speculatively on %d domains\n" jobs;
            Flow.run_parallel ~jobs ~checks ~estimate ~incremental
-             ~route_incremental ~subject ~library ~floorplan ~rng ()
+             ~route_incremental ~t ~subject ~library ~floorplan ~rng ()
+         end
+         else if adaptive then begin
+           let outcome, stats =
+             Flow.run_adaptive ~checks ~incremental ~route_incremental
+               ~route_jobs ~t ~subject ~library ~floorplan ~rng ()
+           in
+           adaptive_stats := Some stats;
+           outcome
          end
          else
            Flow.run ~checks ~estimate ~incremental ~route_incremental
-             ~route_jobs ~subject ~library ~floorplan ~rng ())
+             ~route_jobs ~t ~subject ~library ~floorplan ~rng ())
     with Check.Violation { stage; detail } -> Error (stage, detail)
   in
   let code =
@@ -233,6 +252,28 @@ let run_flow verbosity input scale seed optimize utilization jobs checks
       if skipped > 0 then
         Printf.printf "estimator skipped %d negotiated route%s\n" skipped
           (if skipped = 1 then "" else "s");
+      (match !adaptive_stats with
+      | Some s ->
+        Printf.printf "adaptive: %d real route%s, %d forecast evals%s\n"
+          s.Flow.real_routes
+          (if s.Flow.real_routes = 1 then "" else "s")
+          s.Flow.forecast_evals
+          (match s.Flow.frontier_k with
+          | Some k -> Printf.sprintf ", frontier K=%g" k
+          | None -> ", every point ruled out")
+      | None -> ());
+      (match
+         (timing, outcome.Flow.mapped, outcome.Flow.placement,
+          outcome.Flow.routing)
+       with
+      | Some _, Some mapped, Some placement, Some routing ->
+        let report =
+          Sta.analyze ~net_length_um:routing.Router.net_length_um mapped ~wire
+            ~placement
+        in
+        Printf.printf "post-route critical path: %s\n"
+          (Sta.endpoint_to_string report.Sta.critical)
+      | _ -> ());
       (match dump with
       | Some path ->
         let k =
@@ -498,6 +539,30 @@ let estimate_arg =
     & opt ~vopt:Estimate.Prune estimate_conv Estimate.Prune
     & info [ "estimate" ] ~docv:"on|off|triage" ~doc)
 
+let timing_arg =
+  let doc =
+    "Timing-driven covering: weight the match cost with $(docv) times the \
+     estimated arrival (cost AREA + K*WIRE + T*DELAY). $(b,--timing) \
+     without a value uses the fitted default weight; the post-route \
+     critical path of the accepted K is reported. Off (T=0, the exact \
+     Eq. 5 cost) when absent."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Mapper.default_timing_weight) (some float) None
+    & info [ "timing" ] ~docv:"T" ~doc)
+
+let adaptive_arg =
+  let doc =
+    "Find the accepted K by adaptive search instead of walking the whole \
+     schedule: bisect the ladder on forecast verdicts, sweep the skipped \
+     points for soundness, then confirm with real routes from the \
+     frontier up. Accepts the same K as the linear schedule with a \
+     handful of routes. Sequential only — ignored with $(b,--jobs) > 1, \
+     and $(b,--estimate) does not apply (the search owns the estimator)."
+  in
+  Arg.(value & flag & info [ "adaptive" ] ~doc)
+
 let dump_congestion_arg =
   let doc =
     "Write the estimated and real per-gcell congestion maps at the \
@@ -582,8 +647,8 @@ let flow_cmd =
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
       $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg $ estimate_arg
-      $ dump_congestion_arg $ incremental_arg $ route_incremental_arg
-      $ route_jobs_arg $ trace_arg $ metrics_arg)
+      $ timing_arg $ adaptive_arg $ dump_congestion_arg $ incremental_arg
+      $ route_incremental_arg $ route_jobs_arg $ trace_arg $ metrics_arg)
 
 let fuzz_iterations_arg =
   let doc = "Number of random workloads to check." in

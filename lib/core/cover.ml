@@ -17,6 +17,7 @@ type objective =
 
 type options = {
   k : float;
+  t : float;
   objective : objective;
   distance : Geom.point -> Geom.point -> float;
   incremental_update : bool;
@@ -27,6 +28,7 @@ type options = {
 let default_options =
   {
     k = 0.0;
+    t = 0.0;
     objective = Min_area;
     distance = Geom.manhattan;
     incremental_update = true;
@@ -176,6 +178,7 @@ let tfi_wire subject ~positions ~distance =
 
 let run ?matchsets:cached subject ~library ~partition ~positions options =
   let n = Subject.num_nodes subject in
+  let wire = Library.wire library in
   let pos_cur = Array.copy positions in
   let sols : solution option array = Array.make n None in
   (* Per-node memoized figures for fanin lookups (Eqs. 1 and 3). PIs keep
@@ -193,8 +196,9 @@ let run ?matchsets:cached subject ~library ~partition ~positions options =
   (* Cost of one structural candidate against the current DP state (Eqs.
      1-3 and 5). This is the only per-K work: the candidate itself is
      K-independent and may come from a cache. *)
-  let eval_candidate { cand_cell = cell; cand_leaves = leaves;
-                       cand_covered = covered } =
+  let fanout_counts = Subject.fanout_counts subject in
+  let eval_candidate v { cand_cell = cell; cand_leaves = leaves;
+                         cand_covered = covered } =
     let area_cost =
       Array.fold_left
         (fun acc l -> acc +. node_area.(l))
@@ -220,13 +224,28 @@ let run ?matchsets:cached subject ~library ~partition ~positions options =
         else wire1
     in
     let arrival_ns =
+      (* Elmore wire delay on each leaf-to-match edge (the model
+         {!Cals_sta.Sta} uses post-route), so the DP ranks covers by the
+         arrival the routed netlist will actually see — a constant-load
+         estimate ties covers that the wire then unties the wrong way. *)
       let latest =
-        Array.fold_left (fun acc l -> max acc node_arrival.(l)) 0.0 leaves
+        Array.fold_left
+          (fun acc l ->
+            let d = options.distance com node_com.(l) in
+            let r = d *. wire.Library.res_kohm_per_um in
+            let c = d *. wire.Library.cap_pf_per_um in
+            let t_wire = r *. ((c /. 2.0) +. cell.Cell.input_cap_pf) in
+            let t = node_arrival.(l) +. t_wire in
+            if t > acc then t else acc)
+          0.0 leaves
       in
       let load =
         match options.objective with
         | Min_delay { load_pf } -> load_pf
-        | Min_area -> 0.01
+        | Min_area ->
+          (* Each reader of the match root is roughly one standard sink;
+             a sink-less root still drives a primary-output load. *)
+          0.01 *. float_of_int (max 1 fanout_counts.(v))
       in
       latest +. Cell.delay_ns cell ~load_pf:load
     in
@@ -235,7 +254,9 @@ let run ?matchsets:cached subject ~library ~partition ~positions options =
       | Min_area -> area_cost
       | Min_delay _ -> arrival_ns
     in
-    let cost = primary +. (options.k *. wire_cost) in
+    let cost =
+      primary +. (options.k *. wire_cost) +. (options.t *. arrival_ns)
+    in
     { cell; leaves; covered; area_cost; wire_cost; arrival_ns; cost; com }
   in
   for v = 0 to n - 1 do
@@ -252,7 +273,7 @@ let run ?matchsets:cached subject ~library ~partition ~positions options =
       let best = ref None in
       Array.iter
         (fun cand ->
-          let sol = eval_candidate cand in
+          let sol = eval_candidate v cand in
           match !best with
           | Some b
             when b.cost < sol.cost

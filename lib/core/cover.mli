@@ -3,17 +3,20 @@
     Dynamic programming over the partitioned subject graph. The cost of a
     match [m] at vertex [v] is
 
-    {v COST(m,v) = AREA(m,v) + K * WIRE(m,v)            (Eq. 5) v}
+    {v COST(m,v) = AREA(m,v) + K * WIRE(m,v) + T * DELAY(m,v) v}
 
     where [AREA] is the cell area plus the area cost of the fanin covers
     (Eq. 1), [WIRE1] sums the distances between the match's center of mass
     and its fanins' centers of mass (Eq. 2), [WIRE2] adds the fanins'
     memoized wire costs (Eq. 3), and the total wire cost is their sum
-    [WIRE(m,v) = WIRE1(m,v) + WIRE2(m,v)] (Eq. 4). Once a match is
-    selected, the covered base
-    gates' positions collapse to the center of mass (the incremental
-    companion-placement update). With [K = 0] this is classic DAGON
-    min-area covering.
+    [WIRE(m,v) = WIRE1(m,v) + WIRE2(m,v)] (Eq. 4). With [T = 0] this is
+    exactly the paper's Eq. 5; [DELAY] is the match's constant-load
+    arrival estimate (see {!solution.arrival_ns}), so a positive [T]
+    trades area and wire against logic depth — the multi-objective cost
+    behind the paper's Table 3/5 post-route timing claims. Once a match
+    is selected, the covered base gates' positions collapse to the center
+    of mass (the incremental companion-placement update). With [K = 0]
+    and [T = 0] this is classic DAGON min-area covering.
 
     Instantiation walks the chosen matches from every needed signal
     (primary-output drivers and cross-tree leaf references); a multi-fanout
@@ -30,6 +33,12 @@ type objective =
 
 type options = {
   k : float;  (** The congestion minimization factor. *)
+  t : float;
+      (** The timing minimization factor: weight of the constant-load
+          arrival estimate in the match cost. [0] (the default) prices
+          pure Eq. 5 and is bit-identical to the pre-timing DP — the
+          arrival term is [t *. arrival_ns], which is exactly [0.] then,
+          and adding [0.] never changes a finite positive cost. *)
   objective : objective;
   distance : Cals_util.Geom.point -> Cals_util.Geom.point -> float;
   incremental_update : bool;  (** Center-of-mass position collapsing. *)
@@ -41,7 +50,7 @@ type options = {
 }
 
 val default_options : options
-(** [k = 0], Manhattan distance, incremental updates, WIRE2 on. *)
+(** [k = 0], [t = 0], Manhattan distance, incremental updates, WIRE2 on. *)
 
 type solution = {
   cell : Cals_cell.Cell.t;

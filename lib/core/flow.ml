@@ -39,6 +39,7 @@ type iteration = {
   hpwl_um : float;
   report : Congestion.report;
   estimated : bool;
+  verdict : Estimate.verdict option;
 }
 
 type outcome = {
@@ -47,6 +48,12 @@ type outcome = {
   mapped : Mapped.t option;
   placement : Placement.mapped_placement option;
   routing : Router.result option;
+}
+
+type adaptive_stats = {
+  real_routes : int;
+  forecast_evals : int;
+  frontier_k : float option;
 }
 
 let default_k_schedule =
@@ -80,8 +87,8 @@ let check_equiv ~checks ~subject ~seed ~k mapped =
 
 let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
     ?(estimate = Estimate.Prune) ?session ?route_session ?route_pool
-    ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~positions
-    ~k () =
+    ?(t = 0.0) ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan
+    ~positions ~k () =
   Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "K=%g" k) "flow.k_eval"
   @@ fun () ->
   Cals_util.Cancel.check cancel;
@@ -93,9 +100,9 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
     | Some session ->
       (* Warm-start re-mapping: the session carries the partition and the
          cached per-tree match sets (its strategy overrides [strategy]). *)
-      Incremental.map ~verify session ~k
+      Incremental.map ~verify ~t session ~k
     | None ->
-      let options = { (Mapper.congestion_aware ~k) with strategy } in
+      let options = { (Mapper.congestion_aware ~k) with strategy; t } in
       Mapper.map ~verify subject ~library ~positions options
   in
   let mapped = result.Mapper.mapped in
@@ -114,6 +121,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
         hpwl_um = infinity;
         report = overflow_report;
         estimated = false;
+        verdict = None;
       },
       (mapped, None, None) )
   | placement ->
@@ -164,6 +172,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
           hpwl_um = placement.Placement.hpwl;
           report;
           estimated = true;
+          verdict = Some f.Estimate.verdict;
         },
         (mapped, Some placement, None) )
     | _ ->
@@ -184,6 +193,7 @@ let evaluate_k ?router_config ?(strategy = Partition.Pdp) ?(checks = Check.Off)
           hpwl_um = placement.Placement.hpwl;
           report;
           estimated = false;
+          verdict = Option.map (fun f -> f.Estimate.verdict) forecast;
         },
         (mapped, Some placement, Some routing) )
 
@@ -236,7 +246,7 @@ let make_route_session ~route_incremental session =
 
 let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
     ?(checks = Check.Off) ?(estimate = Estimate.Prune) ?(incremental = true)
-    ?(route_incremental = true) ?(route_jobs = 1)
+    ?(route_incremental = true) ?(route_jobs = 1) ?(t = 0.0)
     ?(cancel = Cals_util.Cancel.never) ~subject ~library ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run" @@ fun () ->
   let positions =
@@ -263,7 +273,7 @@ let run ?(k_schedule = default_k_schedule) ?router_config ?strategy
     | k :: rest ->
       let iteration, (mapped, placement, routing) =
         evaluate_k ?router_config ?strategy ~checks ~estimate ?session
-          ?route_session ?route_pool ~cancel ~subject ~library ~floorplan
+          ?route_session ?route_pool ~t ~cancel ~subject ~library ~floorplan
           ~positions ~k ()
       in
       if Congestion.acceptable iteration.report then begin
@@ -294,13 +304,13 @@ let rec take_chunk n = function
 
 let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
     ?(checks = Check.Off) ?(estimate = Estimate.Prune) ?(incremental = true)
-    ?(route_incremental = true) ?(route_jobs = 1)
+    ?(route_incremental = true) ?(route_jobs = 1) ?(t = 0.0)
     ?(cancel = Cals_util.Cancel.never) ~jobs ~subject ~library ~floorplan ~rng
     () =
   if jobs <= 1 then
     run ~k_schedule ?router_config ?strategy ~checks ~estimate ~incremental
-      ~route_incremental ~route_jobs ~cancel ~subject ~library ~floorplan ~rng
-      ()
+      ~route_incremental ~route_jobs ~t ~cancel ~subject ~library ~floorplan
+      ~rng ()
   else begin
     Span.with_ ~cat:"flow" ~meta:(Printf.sprintf "jobs=%d" jobs)
       "flow.run_parallel"
@@ -350,8 +360,8 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
           Cals_util.Pool.map_array pool
             ~f:(fun _ k ->
               evaluate_k ?router_config ?strategy ~checks ~estimate ?session
-                ?route_session ~cancel ~subject ~library ~floorplan ~positions
-                ~k ())
+                ?route_session ~t ~cancel ~subject ~library ~floorplan
+                ~positions ~k ())
             (Array.of_list chunk)
         in
         let n = Array.length results in
@@ -389,3 +399,136 @@ let run_parallel ?(k_schedule = default_k_schedule) ?router_config ?strategy
     in
     loop k_schedule []
   end
+
+(* ---------------- Adaptive K search ---------------- *)
+
+(* A point the pruned linear sweep would reject without ever routing it:
+   the netlist does not legalize, or the estimator confidently calls it
+   unroutable (the PR 7 soundness construction — such points always carry
+   violations, so they can never be the accepted one). These are the only
+   points the adaptive search may skip a real route for, which is what
+   makes its accepted K bit-identical to the linear schedule's. *)
+let established_rejected (it : iteration) =
+  it.hpwl_um = infinity || it.verdict = Some Estimate.Unroutable
+
+let run_adaptive ?(k_schedule = default_k_schedule) ?router_config ?strategy
+    ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
+    ?(route_jobs = 1) ?(t = 0.0) ?(cancel = Cals_util.Cancel.never) ~subject
+    ~library ~floorplan ~rng () =
+  Span.with_ ~cat:"flow" "flow.run_adaptive" @@ fun () ->
+  let positions =
+    Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
+    Placement.place_subject subject ~floorplan ~rng
+  in
+  let session =
+    make_session ~incremental ?strategy ~subject ~library ~positions ()
+  in
+  let route_session = make_route_session ~route_incremental session in
+  let route_pool =
+    if route_jobs > 1 then Some (Cals_util.Pool.create ~jobs:route_jobs)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Cals_util.Pool.shutdown route_pool)
+  @@ fun () ->
+  let ks = Array.of_list k_schedule in
+  let n = Array.length ks in
+  let results : iteration option array = Array.make n None in
+  let forecast_evals = ref 0 in
+  let real_routes = ref 0 in
+  (* Forecast-only evaluation: map, legalize and run the estimator, never
+     the router ([Triage] skips every negotiated route). *)
+  let triage idx =
+    incr forecast_evals;
+    let iteration, _ =
+      evaluate_k ?router_config ?strategy ~checks ~estimate:Estimate.Triage
+        ?session ?route_session ~t ~cancel ~subject ~library ~floorplan
+        ~positions ~k:ks.(idx) ()
+    in
+    results.(idx) <- Some iteration;
+    iteration
+  in
+  (* Phase 1 — verdict bisection. Find the frontier: the lowest schedule
+     index the estimator does not confidently rule out. Congestion falls
+     as K rises, so ruled-out points form (in practice) a prefix of the
+     ladder; the bisection exploits that to seed the frontier in
+     O(log n) forecast probes instead of n. *)
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if established_rejected (triage mid) then bisect (mid + 1) hi
+      else bisect lo mid
+    end
+  in
+  let seed_frontier = bisect 0 n in
+  (* Phase 2 — soundness sweep. The bisection's prefix assumption is an
+     optimization, never a premise: forecast every point it skipped below
+     the seed, and lower the frontier to the first point the estimator
+     cannot rule out. After this pass every point below the frontier is
+     established-rejected by exactly the rules the pruned linear sweep
+     applies, so skipping their routes cannot move the accepted K. *)
+  for idx = seed_frontier - 1 downto 0 do
+    if results.(idx) = None then ignore (triage idx)
+  done;
+  let frontier =
+    let rec first idx =
+      if idx >= seed_frontier then seed_frontier
+      else
+        match results.(idx) with
+        | Some it when not (established_rejected it) -> idx
+        | _ -> first (idx + 1)
+    in
+    first 0
+  in
+  Log.debug (fun m ->
+      m "adaptive frontier at %s after %d forecast evaluations"
+        (if frontier < n then Printf.sprintf "K=%g" ks.(frontier) else "end")
+        !forecast_evals);
+  (* Phase 3 — confirming routes. From the frontier up this is the pruned
+     linear loop: each point re-forecasts under [Prune] (skipping any the
+     estimator confidently rejects) and otherwise routes for real, until
+     the first acceptable real route. Acceptance still rides a real
+     route; the refinement only reorders where the forecast work
+     happens. *)
+  let rec confirm idx =
+    if idx >= n then None
+    else begin
+      let iteration, (mapped, placement, routing) =
+        evaluate_k ?router_config ?strategy ~checks ~estimate:Estimate.Prune
+          ?session ?route_session ?route_pool ~t ~cancel ~subject ~library
+          ~floorplan ~positions ~k:ks.(idx) ()
+      in
+      results.(idx) <- Some iteration;
+      if (not iteration.estimated) && iteration.hpwl_um < infinity then
+        incr real_routes;
+      if Congestion.acceptable iteration.report then begin
+        log_accepted iteration;
+        check_accepted ~checks ~subject ~k:iteration.k mapped;
+        Some (iteration, mapped, placement, routing)
+      end
+      else begin
+        log_rejected iteration;
+        confirm (idx + 1)
+      end
+    end
+  in
+  let accepted = confirm frontier in
+  let iterations = List.filter_map Fun.id (Array.to_list results) in
+  let stats =
+    {
+      real_routes = !real_routes;
+      forecast_evals = !forecast_evals;
+      frontier_k = (if frontier < n then Some ks.(frontier) else None);
+    }
+  in
+  match accepted with
+  | Some (iteration, mapped, placement, routing) ->
+    ( { iterations; accepted = Some iteration; mapped = Some mapped;
+        placement; routing },
+      stats )
+  | None ->
+    Log.info (fun m -> m "no K in the schedule was acceptable");
+    ( { iterations; accepted = None; mapped = None; placement = None;
+        routing = None },
+      stats )

@@ -15,6 +15,12 @@ type iteration = {
   estimated : bool;
       (** The report came from {!Cals_estimate.Estimate} instead of a
           negotiated route (the route was pruned or triaged away). *)
+  verdict : Cals_estimate.Estimate.verdict option;
+      (** The forecast's verdict at this point, when the estimator ran
+          ([None] under [estimate:Off] and for netlists that do not
+          legalize). Routed points keep their pre-route verdict, so the
+          adaptive search and its tests can audit which skips were
+          estimator-justified. *)
 }
 
 type outcome = {
@@ -23,6 +29,21 @@ type outcome = {
   mapped : Cals_netlist.Mapped.t option;  (** Netlist of the accepted K. *)
   placement : Cals_place.Placement.mapped_placement option;
   routing : Cals_route.Router.result option;
+}
+
+type adaptive_stats = {
+  real_routes : int;
+      (** Negotiated routes actually performed by the adaptive search —
+          the number the linear 14-point sweep pays 14 of. Legalize
+          overflows and estimator-skipped points do not count. *)
+  forecast_evals : int;
+      (** Forecast-only evaluations (map + legalize + millisecond
+          estimate, no route) spent on bisection probes and the
+          soundness sweep. *)
+  frontier_k : float option;
+      (** First schedule point the estimator could not rule out — where
+          the confirming routes started. [None] when every point was
+          established-rejected. *)
 }
 
 val default_k_schedule : float list
@@ -37,6 +58,7 @@ val run :
   ?incremental:bool ->
   ?route_incremental:bool ->
   ?route_jobs:int ->
+  ?t:float ->
   ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -47,6 +69,12 @@ val run :
 (** Stops at the first acceptable congestion map. Iterations whose mapped
     netlist does not even fit the floorplan rows are recorded with an
     all-violations report and the loop moves on.
+
+    [t] (default [0.]) is the timing weight of the multi-objective match
+    cost [AREA + K*WIRE + T*DELAY] — see {!Mapper.options.t}. It changes
+    only the cost-combination DP, so it composes with every other knob
+    (incremental sessions, pruning, parallel evaluation) unchanged, and
+    [t = 0.] reproduces the pure Eq. 5 flow bit for bit.
 
     [estimate] (default [Prune]) runs the millisecond congestion forecast
     ({!Cals_estimate.Estimate}) on every placed K point before routing.
@@ -105,6 +133,7 @@ val run_parallel :
   ?incremental:bool ->
   ?route_incremental:bool ->
   ?route_jobs:int ->
+  ?t:float ->
   ?cancel:Cals_util.Cancel.t ->
   jobs:int ->
   subject:Cals_netlist.Subject.t ->
@@ -139,6 +168,58 @@ val run_parallel :
     work (see {!Cals_util.Pool.map_array}), so cancellation still shuts
     the chunk down cleanly. *)
 
+val run_adaptive :
+  ?k_schedule:float list ->
+  ?router_config:Cals_route.Router.config ->
+  ?strategy:Partition.strategy ->
+  ?checks:Cals_verify.Check.level ->
+  ?incremental:bool ->
+  ?route_incremental:bool ->
+  ?route_jobs:int ->
+  ?t:float ->
+  ?cancel:Cals_util.Cancel.t ->
+  subject:Cals_netlist.Subject.t ->
+  library:Cals_cell.Library.t ->
+  floorplan:Cals_place.Floorplan.t ->
+  rng:Cals_util.Rng.t ->
+  unit ->
+  outcome * adaptive_stats
+(** Adaptive K search: find the accepted point of [k_schedule] with a
+    handful of real routes instead of one per schedule point, seeded by
+    {!Cals_estimate.Estimate} verdicts.
+
+    Three phases. (1) {e Verdict bisection}: binary-search the ladder for
+    the frontier — the lowest K the estimator does not confidently rule
+    out — using forecast-only probes (map + legalize + estimate, never a
+    route). (2) {e Soundness sweep}: forecast every point the bisection
+    skipped below the frontier; any point the estimator cannot rule out
+    lowers the frontier, so the prefix-of-rejections assumption behind
+    the bisection is only ever an optimization. (3) {e Confirming
+    routes}: from the frontier up, run the pruned linear loop — route
+    every point the estimator does not confidently reject, ascending,
+    until the first acceptable {e real} route.
+
+    The invariant, by construction: a real route is skipped only where
+    the point is established-rejected — its netlist does not legalize,
+    or the forecast is confident-[Unroutable] (whose recorded report
+    always carries violations, the PR 7 pruning contract). Every other
+    point below the accepted one is routed, in schedule order, exactly
+    as the linear {!run} would. Hence the accepted K, its mapped
+    netlist and its routed result are bit-identical to the linear
+    schedule's whenever the calibration holds, and the no-acceptable-K
+    outcome (over-capacity floorplans) is preserved — at the cost of
+    [real_routes] negotiated routes, ≤ 6 on the bench corpus against
+    the 14-point default ladder.
+
+    [iterations] in the returned outcome holds every point the search
+    evaluated, in ascending-K order; bisection probes above the accepted
+    K may appear (forecast-only, [estimated = true]), and points the
+    search never needed to look at are absent — unlike {!run}, whose
+    iteration list is always a schedule prefix. There is no [estimate]
+    parameter: the search owns the estimator (triage probes, [Prune]
+    confirming routes); [estimate:Off] would defeat its purpose, and the
+    linear {!run} remains the way to sweep without forecasts. *)
+
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->
   ?strategy:Partition.strategy ->
@@ -147,6 +228,7 @@ val evaluate_k :
   ?session:Incremental.session ->
   ?route_session:Cals_route.Router.Session.t ->
   ?route_pool:Cals_util.Pool.t ->
+  ?t:float ->
   ?cancel:Cals_util.Cancel.t ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
@@ -162,7 +244,11 @@ val evaluate_k :
     the bench tables are built from. With [session] the mapping phase is
     served by {!Incremental.map} (whose strategy overrides [strategy]);
     the session must have been created from the same [subject],
-    [positions] and library.
+    [positions] and library. [t] (default [0.]) is the timing weight of
+    {!Mapper.options.t}, forwarded to the mapper on both the session and
+    the cold path; the equivalence stimulus stays derived from K alone
+    (see {!equiv_seed}), which remains sound because the stimulus never
+    depends on the netlist under check.
 
     [route_session] and [route_pool] are handed to
     {!Cals_route.Router.route_mapped} verbatim: the session replays

@@ -170,11 +170,11 @@ let assemble session =
     session.trees;
   ms
 
-let map ?(verify = false) session ~k =
+let map ?(verify = false) ?(t = 0.0) session ~k =
   Span.with_ ~cat:"map" ~meta:(Printf.sprintf "K=%g" k) "incremental.map"
   @@ fun () ->
   Atomic.incr session.maps;
-  let options = { session.options with Mapper.k } in
+  let options = { session.options with Mapper.k; t } in
   let matchsets =
     Span.with_ ~cat:"map" "incremental.assemble" @@ fun () -> assemble session
   in

@@ -11,7 +11,8 @@
     {2 Cache keying and invalidation}
 
     A session fixes the subject graph, the library, the companion
-    placement and the mapper options (everything but K). The partition is
+    placement and the mapper options (everything but K and the timing
+    weight T, which are per-{!map}-call). The partition is
     computed once at {!create}; each of its trees gets a 64-bit FNV-1a
     fingerprint over the tree's node ids, gate kinds, fanins and father
     edges. The match cache maps fingerprint → per-node candidate sets, so
@@ -61,11 +62,15 @@ val create :
     tree. [options.k] is irrelevant here — each {!map} call substitutes
     its own K. *)
 
-val map : ?verify:bool -> session -> k:float -> Mapper.result
+val map : ?verify:bool -> ?t:float -> session -> k:float -> Mapper.result
 (** One K point: assemble the cached match sets (enumerating any missing
     tree) and run the cost-combination DP + extraction via {!Mapper.map}.
     Bit-identical to the equivalent cold call
-    [Mapper.map ?verify subject ~library ~positions { options with k }]. *)
+    [Mapper.map ?verify subject ~library ~positions { options with k; t }].
+    [t] (default [0.]) is the timing weight of
+    {!Mapper.options.t}; like K it only affects the cost-combination DP,
+    never the cached structural matches, so one session serves timing
+    and non-timing calls from the same cache. *)
 
 val warm : session -> unit
 (** Sequential match phase: enumerate and cache every tree that is not

@@ -9,6 +9,7 @@ let m_runs = Metrics.counter ~help:"Technology-mapping runs" "mapper_runs"
 
 type options = {
   k : float;
+  t : float;
   wire_scale : float;
   objective : Cover.objective;
   strategy : Partition.strategy;
@@ -19,10 +20,12 @@ type options = {
 }
 
 let default_wire_scale = 200.0
+let default_timing_weight = 50.0
 
 let min_area =
   {
     k = 0.0;
+    t = 0.0;
     wire_scale = default_wire_scale;
     objective = Cover.Min_area;
     strategy = Partition.Dagon;
@@ -69,6 +72,7 @@ let map ?(verify = false) ?partition ?matchsets subject ~library ~positions
   let cover_options =
     {
       Cover.k = options.k *. options.wire_scale;
+      t = options.t;
       objective = options.objective;
       distance = options.distance;
       incremental_update = options.incremental_update;

@@ -5,6 +5,14 @@
 
 type options = {
   k : float;  (** Congestion minimization factor (Eq. 5). *)
+  t : float;
+      (** Timing minimization factor (the [T] in
+          [AREA + K*WIRE + T*DELAY]): weight of the covered match's
+          constant-load arrival estimate, in cost units per ns. Passed to
+          {!Cover.options.t} unscaled — cell areas (µm²) and arrival
+          times (ns) already sit within an order of magnitude on this
+          library, unlike the µm wire term that needs [wire_scale]. [0]
+          (the default) reproduces the pre-timing mapper bit for bit. *)
   wire_scale : float;
       (** Unit conversion applied to WIRE before multiplying by [k]. The
           companion placement is in µm; the paper's K ladder (1e-4 .. 1)
@@ -21,6 +29,17 @@ type options = {
 
 val default_wire_scale : float
 (** 200. *)
+
+val default_timing_weight : float
+(** The [t] used when timing-driven covering is requested without an
+    explicit weight ([cals flow --timing], timing-enabled serve jobs).
+    Fitted on the golden corpus: small weights only flip exact-cost
+    ties (area quanta dwarf [t * delta-arrival]), so the useful regime
+    starts where the DP genuinely trades area for arrival — 50 sits
+    inside the band (roughly 30..500) where the accepted-K post-route
+    critical path improves on {e every} golden design for a cell-area
+    overhead under ten percent (the Table 3/5 trend guarded by
+    [test_sta]). *)
 
 val min_area : options
 (** [k = 0] with DAGON partitioning — the classic baseline mapper. *)
@@ -67,6 +86,6 @@ val map :
     {!Incremental} sessions: a precomputed partition skips
     {!Partition.run}, and a precomputed matchset skips pattern
     enumeration inside {!Cover.run}. Both must have been derived from the
-    same [subject], [positions], library and [options] (modulo [k], which
-    neither depends on); the result is then bit-identical to a cold
-    call. *)
+    same [subject], [positions], library and [options] (modulo [k] and
+    [t], which neither depends on); the result is then bit-identical to a
+    cold call. *)

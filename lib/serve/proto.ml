@@ -222,6 +222,7 @@ type spec = {
   checks : Check.level;
   utilization : float;
   optimize : bool;
+  timing : float option;
   deadline_s : float option;
 }
 
@@ -326,13 +327,24 @@ let spec_of_json ?(default_id = "") json =
   in
   let* utilization = get_float "utilization" 0.55 json in
   let* optimize = get_bool "optimize" false json in
+  let* timing =
+    match member "timing" json with
+    | None | Some Null | Some (Bool false) -> Ok None
+    | Some (Bool true) -> Ok (Some Cals_core.Mapper.default_timing_weight)
+    | Some (Num f) ->
+      if f <= 0.0 then Error "timing must be a positive number"
+      else Ok (Some f)
+    | Some _ -> Error "timing must be a number or boolean"
+  in
   let* deadline_s =
     let* f = get_float "deadline_s" nan json in
     if Float.is_nan f then Ok None
     else if f <= 0.0 then Error "deadline_s must be positive"
     else Ok (Some f)
   in
-  Ok { id; input; k_schedule; checks; utilization; optimize; deadline_s }
+  Ok
+    { id; input; k_schedule; checks; utilization; optimize; timing;
+      deadline_s }
 
 let spec_of_string ?default_id line =
   let* json = parse_json line in
@@ -376,6 +388,9 @@ let spec_to_json spec =
         ("utilization", Num spec.utilization);
         ("optimize", Bool spec.optimize);
       ]
+    @ (match spec.timing with
+      | None -> []
+      | Some t -> [ ("timing", Num t) ])
     @
     match spec.deadline_s with
     | None -> []

@@ -20,7 +20,11 @@
     [k_schedule] (default {!Cals_core.Flow.default_k_schedule}),
     [checks] ([off] / [cheap] / [full], default [off]), [utilization]
     (default 0.55), [optimize] (default [false], the aggressive
-    SIS-style script), [deadline_s] (default: the scheduler's),
+    SIS-style script), [timing] ([true] for the fitted default weight
+    {!Cals_core.Mapper.default_timing_weight}, or a positive number for
+    an explicit one — timing-driven covering, with the post-route
+    critical path reported in the artifact's metrics),
+    [deadline_s] (default: the scheduler's),
     [scale] / [seed] (presets only). A [workload] job names a synthetic
     {!Cals_verify.Fuzz.params} circuit, so its quarantine reproducer is
     replayable with [cals fuzz --replay]. *)
@@ -63,6 +67,11 @@ type spec = {
   checks : Cals_verify.Check.level;
   utilization : float;
   optimize : bool;
+  timing : float option;
+      (** Timing weight [T] of the multi-objective match cost; [None] =
+          pure Eq. 5 covering. Not part of {!design_key}: the weight is
+          per-map-call (see {!Cals_core.Incremental.map}), so timing and
+          non-timing jobs share one warmed session. *)
   deadline_s : float option;  (** [None] = the scheduler's default. *)
 }
 

@@ -6,6 +6,7 @@ module Congestion = Cals_route.Congestion
 module Estimate = Cals_estimate.Estimate
 module Flow = Cals_core.Flow
 module Incremental = Cals_core.Incremental
+module Sta = Cals_sta.Sta
 module Check = Cals_verify.Check
 module Equiv = Cals_verify.Equiv
 module Fuzz = Cals_verify.Fuzz
@@ -20,6 +21,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let library = Cals_cell.Stdlib_018.library
 let geometry = Cals_cell.Library.geometry library
+let wire = Cals_cell.Library.wire library
 
 let m_submitted =
   Metrics.counter ~help:"Jobs admitted to the service queue"
@@ -365,6 +367,11 @@ type run_metrics = {
   degrade_level : int;
   k_capped : bool;
   estimated : bool;
+  critical_path_ns : float option;
+      (* Post-route STA at the accepted K. [None] unless the job asked
+         for timing AND the acceptance rode a real route at degradation
+         level < 2 — degraded and triaged runs leave the timing fields
+         absent rather than stale. *)
 }
 
 type run_result = Success of run_metrics | Fault of Job.fault
@@ -373,16 +380,16 @@ type run_result = Success of run_metrics | Fault of Job.fault
    acceptable congestion map; Cheap defers equivalence to the netlist the
    job ships, exactly like [Flow.run] (Full already checked every K
    inside [evaluate_k]). *)
-let run_schedule ~cancel ~checks ~estimate ~design schedule =
+let run_schedule ~cancel ~checks ~estimate ~t ~design schedule =
   let { subject; floorplan; positions; session } = design in
   let rec loop acc = function
     | [] -> (List.rev acc, None, None)
     | k :: rest ->
       Cancel.check cancel;
-      let iteration, (mapped, _placement, _routing) =
+      let iteration, (mapped, placement, routing) =
         Flow.evaluate_k ~checks ~estimate ~session
           ~route_session:(Incremental.route_session session)
-          ~cancel ~subject ~library ~floorplan ~positions ~k ()
+          ~t ~cancel ~subject ~library ~floorplan ~positions ~k ()
       in
       if Congestion.acceptable iteration.Flow.report then begin
         if checks = Check.Cheap then
@@ -390,7 +397,8 @@ let run_schedule ~cancel ~checks ~estimate ~design schedule =
             ~rng:(Cals_util.Rng.create (Flow.equiv_seed ~k))
             ~stage:"equiv" (Equiv.of_subject subject)
             (Equiv.of_mapped ~label:(Printf.sprintf "mapped@K=%g" k) mapped);
-        (List.rev (iteration :: acc), Some iteration, Some mapped)
+        (List.rev (iteration :: acc), Some iteration,
+         Some (mapped, placement, routing))
       end
       else loop (iteration :: acc) rest
   in
@@ -405,9 +413,9 @@ let metrics_json (job : Job.t) (m : run_metrics) =
     if total = 0 then 0.0 else float_of_int m.cache_hits /. float_of_int total
   in
   Proto.Obj
-    [
-      ("id", Proto.Str spec.Proto.id);
-      ("design_key", Proto.Str (Proto.design_key spec));
+    ([
+       ("id", Proto.Str spec.Proto.id);
+       ("design_key", Proto.Str (Proto.design_key spec));
       ("attempts", Proto.Num (float_of_int job.Job.attempts));
       ("wall_s", Proto.Num m.wall_s);
       ("iterations", Proto.Num (float_of_int m.iterations));
@@ -434,6 +442,19 @@ let metrics_json (job : Job.t) (m : run_metrics) =
           ] );
       ("estimated", Proto.Bool m.estimated);
     ]
+    @
+    match (spec.Proto.timing, m.critical_path_ns) with
+    | Some t, Some ns ->
+      [
+        ( "timing",
+          Proto.Obj
+            [
+              ("t", Proto.Num t);
+              ("critical_path_ns", Proto.Num ns);
+              ("critical_path_ps", Proto.Num (1000.0 *. ns));
+            ] );
+      ]
+    | _ -> [])
 
 let write_success_artifacts t (job : Job.t) m mapped =
   let dir = job_dir t job in
@@ -474,8 +495,21 @@ let run_job t ~level (job : Job.t) =
     let schedule, k_capped = cap_schedule t level schedule in
     let estimate = estimate_policy level in
     if estimate = Estimate.Triage then Metrics.incr m_triaged;
-    let iterations, accepted, mapped =
-      run_schedule ~cancel ~checks ~estimate ~design schedule
+    let timing_t = Option.value spec.Proto.timing ~default:0.0 in
+    let iterations, accepted, artifacts =
+      run_schedule ~cancel ~checks ~estimate ~t:timing_t ~design schedule
+    in
+    let mapped = Option.map (fun (m, _, _) -> m) artifacts in
+    let critical_path_ns =
+      match (spec.Proto.timing, accepted, artifacts) with
+      | Some _, Some it, Some (mapped, Some placement, Some routing)
+        when level < 2 && not it.Flow.estimated ->
+        let report =
+          Sta.analyze ~net_length_um:routing.Cals_route.Router.net_length_um
+            mapped ~wire ~placement
+        in
+        Some report.Sta.critical.Sta.arrival_ns
+      | _ -> None
     in
     let stats1 = Incremental.stats design.session in
     let m =
@@ -500,6 +534,7 @@ let run_job t ~level (job : Job.t) =
           (match accepted with
           | Some it -> it.Flow.estimated
           | None -> false);
+        critical_path_ns;
       }
     in
     write_success_artifacts t job m mapped;

@@ -246,6 +246,54 @@ let prop_pruned_accepted_identical =
           (match p with Some _ -> "accepted" | None -> "rejected"));
       true)
 
+(* A Routable forecast only ever seeds the adaptive bisection — it must
+   never stand in for the confirming route. On the congested fixture
+   swept across utilizations that straddle the calibration threshold,
+   whatever K the adaptive search accepts must come from a real route
+   with zero violations, re-confirmed by an independent estimator-off
+   run restricted to that K alone. *)
+let test_routable_seed_never_accepts_violations () =
+  let subject = congested_subject () in
+  List.iter
+    (fun utilization ->
+      let floorplan, _ = workload_of ~utilization subject in
+      let outcome, stats =
+        Flow.run_adaptive ~router_config:congested_config ~subject
+          ~library:lib ~floorplan ~rng:(Rng.create 9) ()
+      in
+      match outcome.Flow.accepted with
+      | None -> ()
+      | Some it ->
+        Alcotest.(check bool)
+          (Printf.sprintf "util %.2f: accepted K=%g came from a real route"
+             utilization it.Flow.k)
+          true (not it.Flow.estimated);
+        Alcotest.(check int)
+          (Printf.sprintf "util %.2f: accepted K=%g routes clean" utilization
+             it.Flow.k)
+          0 it.Flow.report.Congestion.violations;
+        Alcotest.(check bool) "at least one confirming route was paid" true
+          (stats.Flow.real_routes >= 1);
+        let confirm =
+          Flow.run ~k_schedule:[ it.Flow.k ] ~router_config:congested_config
+            ~estimate:Estimate.Off ~subject ~library:lib ~floorplan
+            ~rng:(Rng.create 9) ()
+        in
+        (match confirm.Flow.accepted with
+        | Some c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "util %.2f: independent route at K=%g agrees"
+               utilization it.Flow.k)
+            true
+            (same_iteration it c
+            && it.Flow.report = c.Flow.report
+            && not c.Flow.estimated)
+        | None ->
+          Alcotest.failf
+            "util %.2f: accepted K=%g fails an independent real route"
+            utilization it.Flow.k))
+    [ 0.45; 0.65; 0.75; 0.85 ]
+
 (* ------------------------- monotonicity ------------------------- *)
 
 let arb_nets floorplan =
@@ -393,6 +441,11 @@ let () =
           Alcotest.test_case "skips-and-preserves-qor" `Quick
             test_prune_skips_and_preserves_qor;
           qc prop_pruned_accepted_identical;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "routable-seed-soundness" `Quick
+            test_routable_seed_never_accepts_violations;
         ] );
       ("properties", [ qc prop_estimate_monotone ]);
       ( "degenerate",

@@ -249,6 +249,127 @@ let test_pipeline_with_sta () =
       if not (t > 0.0 && t < 1000.0) then Alcotest.failf "bad critical %.3f at K=%g" t k)
     [ 0.0; 0.001 ]
 
+(* ------------------------- adaptive K search ------------------------- *)
+
+(* The adaptive search's contract, as a differential against the linear
+   schedule on random workloads: same accepted K and metrics, same
+   mapped netlist (verilog digest), same routed paths, and exactly as
+   many real routes as the pruned linear sweep pays — never one more.
+   Crowd 2 drives over-capacity floorplans where no K is routable. *)
+let prop_adaptive_matches_linear =
+  QCheck.Test.make ~count:6
+    ~name:"adaptive search == linear schedule on the full default ladder"
+    QCheck.(triple (int_range 0 10_000) (int_range 0 2) (int_range 0 1))
+    (fun (seed, crowd, fam) ->
+      let family = if fam = 0 then `Pla else `Multilevel in
+      let net =
+        Cals_workload.Gen.of_fuzz ~family ~seed ~inputs:6 ~outputs:3 ~size:14
+      in
+      Cals_logic.Network.sweep net;
+      let subject = Cals_logic.Decompose.subject_of_network net in
+      let utilization = [| 0.45; 0.65; 0.85 |].(crowd) in
+      let layers = if crowd = 2 then 2 else 3 in
+      let router_config = { Router.default_config with Router.layers } in
+      let floorplan =
+        Floorplan.for_area
+          ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+          ~utilization ~aspect:1.0 ~geometry
+      in
+      let linear =
+        Flow.run ~router_config ~subject ~library:lib ~floorplan
+          ~rng:(Rng.create (seed + 1)) ()
+      in
+      let adaptive, stats =
+        Flow.run_adaptive ~router_config ~subject ~library:lib ~floorplan
+          ~rng:(Rng.create (seed + 1)) ()
+      in
+      (match (linear.Flow.accepted, adaptive.Flow.accepted) with
+      | None, None -> ()
+      | Some l, Some a ->
+        if
+          not
+            (l.Flow.k = a.Flow.k
+            && l.Flow.cells = a.Flow.cells
+            && l.Flow.cell_area = a.Flow.cell_area
+            && l.Flow.hpwl_um = a.Flow.hpwl_um
+            && l.Flow.report = a.Flow.report)
+        then
+          QCheck.Test.fail_reportf
+            "seed %d: accepted iteration differs (linear K=%g, adaptive K=%g)"
+            seed l.Flow.k a.Flow.k;
+        if a.Flow.estimated then
+          QCheck.Test.fail_reportf
+            "seed %d: adaptive accepted an estimated point" seed
+      | l, a ->
+        QCheck.Test.fail_reportf "seed %d: acceptance differs (%s vs %s)" seed
+          (match l with Some _ -> "accepted" | None -> "rejected")
+          (match a with Some _ -> "accepted" | None -> "rejected"));
+      (match (linear.Flow.mapped, adaptive.Flow.mapped) with
+      | None, None -> ()
+      | Some l, Some a ->
+        if not (String.equal (Mapped.to_verilog l) (Mapped.to_verilog a)) then
+          QCheck.Test.fail_reportf "seed %d: mapped netlists differ" seed
+      | _ -> QCheck.Test.fail_reportf "seed %d: mapped presence differs" seed);
+      (match (linear.Flow.routing, adaptive.Flow.routing) with
+      | None, None -> ()
+      | Some l, Some a ->
+        if l.Router.routes <> a.Router.routes then
+          QCheck.Test.fail_reportf "seed %d: routed paths differ" seed
+      | _ -> QCheck.Test.fail_reportf "seed %d: routing presence differs" seed);
+      let linear_routed =
+        List.length
+          (List.filter
+             (fun (it : Flow.iteration) ->
+               (not it.Flow.estimated) && it.Flow.hpwl_um < infinity)
+             linear.Flow.iterations)
+      in
+      if stats.Flow.real_routes <> linear_routed then
+        QCheck.Test.fail_reportf
+          "seed %d: adaptive paid %d real routes, pruned linear pays %d" seed
+          stats.Flow.real_routes linear_routed;
+      true)
+
+let test_adaptive_over_capacity () =
+  (* Nothing legalizes: the search must rule out every ladder point
+     without a single negotiated route and agree with the linear loop
+     that no K is acceptable. *)
+  let net = small_circuit 2 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan = Floorplan.of_rows ~num_rows:4 ~sites_per_row:40 ~geometry in
+  let linear =
+    Flow.run ~subject ~library:lib ~floorplan ~rng:(Rng.create 3) ()
+  in
+  let adaptive, stats =
+    Flow.run_adaptive ~subject ~library:lib ~floorplan ~rng:(Rng.create 3) ()
+  in
+  Alcotest.(check bool) "linear rejects" true (linear.Flow.accepted = None);
+  Alcotest.(check bool) "adaptive rejects" true (adaptive.Flow.accepted = None);
+  Alcotest.(check int) "no real routes spent" 0 stats.Flow.real_routes;
+  Alcotest.(check bool) "no frontier" true (stats.Flow.frontier_k = None)
+
+let test_adaptive_route_budget () =
+  (* On a comfortably-routable circuit the ladder's acceptance sits at
+     its very first point: one confirming route, never the 14 the linear
+     schedule walks. *)
+  let net = small_circuit 1 in
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.3 ~aspect:1.0 ~geometry
+  in
+  let outcome, stats =
+    Flow.run_adaptive ~subject ~library:lib ~floorplan ~rng:(Rng.create 2) ()
+  in
+  (match outcome.Flow.accepted with
+  | Some it -> Alcotest.(check (float 1e-9)) "accepted at K=0" 0.0 it.Flow.k
+  | None -> Alcotest.fail "loose floorplan should route");
+  Alcotest.(check bool)
+    (Printf.sprintf "route budget respected (%d <= 6)" stats.Flow.real_routes)
+    true
+    (stats.Flow.real_routes <= 6);
+  Alcotest.(check bool) "routing returned" true (outcome.Flow.routing <> None)
+
 let () =
   Alcotest.run "flow"
     [
@@ -269,6 +390,12 @@ let () =
             test_parallel_pdc_like;
           Alcotest.test_case "tight floorplan" `Quick
             test_parallel_tight_floorplan_walks_schedule;
+        ] );
+      ( "adaptive",
+        [
+          QCheck_alcotest.to_alcotest prop_adaptive_matches_linear;
+          Alcotest.test_case "over-capacity" `Quick test_adaptive_over_capacity;
+          Alcotest.test_case "route budget" `Quick test_adaptive_route_budget;
         ] );
       ( "pipeline",
         [

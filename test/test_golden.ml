@@ -20,9 +20,11 @@ module Rgrid = Cals_route.Rgrid
 module Fnv = Cals_util.Tables.Fnv64
 module Gen = Cals_workload.Gen
 module Rng = Cals_util.Rng
+module Sta = Cals_sta.Sta
 
 let lib = Cals_cell.Stdlib_018.library
 let geometry = Cals_cell.Library.geometry lib
+let wire = Cals_cell.Library.wire lib
 
 let golden_dir =
   Option.value (Sys.getenv_opt "CALS_GOLDEN_DIR") ~default:"golden"
@@ -129,12 +131,25 @@ let actual_lines name net =
     List.map
       (fun k ->
         let eval ?session ?route_session () =
-          let it, (_, _, routing) =
+          let it, (mapped, placement, routing) =
             Flow.evaluate_k ?session ?route_session ~subject ~library:lib
               ~floorplan ~positions ~k ()
           in
-          Printf.sprintf "%s route=%s" (fmt_iteration it)
-            (route_digest routing)
+          (* Post-route critical path of this K point — the timing
+             digest the T>0-vs-T=0 differential in test_sta leans on.
+             "-" when the point never routed (DNF). *)
+          let crit =
+            match (placement, routing) with
+            | Some placement, Some routing ->
+              let report =
+                Sta.analyze ~net_length_um:routing.Router.net_length_um
+                  mapped ~wire ~placement
+              in
+              Printf.sprintf "%.4f" report.Sta.critical.Sta.arrival_ns
+            | _ -> "-"
+          in
+          Printf.sprintf "%s route=%s crit=%s" (fmt_iteration it)
+            (route_digest routing) crit
         in
         let warm = eval ~session ~route_session () and cold = eval () in
         if warm <> cold then

@@ -35,7 +35,7 @@ let fresh_out =
     Printf.sprintf "serve-test-out-%d" !n
 
 let workload_spec ?(id = "") ?(checks = Check.Off) ?deadline_s ?k_schedule
-    ~seed () =
+    ?timing ~seed () =
   {
     Proto.id;
     input =
@@ -45,6 +45,7 @@ let workload_spec ?(id = "") ?(checks = Check.Off) ?deadline_s ?k_schedule
     checks;
     utilization = 0.55;
     optimize = false;
+    timing;
     deadline_s;
   }
 
@@ -104,6 +105,47 @@ let test_design_key () =
   Alcotest.(check bool)
     "seed changes the circuit" false
     (String.equal (Proto.design_key base) (Proto.design_key different))
+
+(* A timing-enabled job spec round-trips through the JSON proto, and the
+   timing weight never leaks into the design key (timing and non-timing
+   jobs share one warmed session). *)
+let test_timing_proto () =
+  let parse line =
+    match Proto.spec_of_string ~default_id:"d" line with
+    | Ok spec -> spec
+    | Error e -> Alcotest.failf "parse %s: %s" line e
+  in
+  let wl =
+    {|"workload":{"family":"pla","seed":3,"inputs":6,"outputs":3,"size":12}|}
+  in
+  let explicit = parse (Printf.sprintf {|{%s,"timing":12.5}|} wl) in
+  Alcotest.(check (option (float 1e-9)))
+    "explicit weight parsed" (Some 12.5) explicit.Proto.timing;
+  let on = parse (Printf.sprintf {|{%s,"timing":true}|} wl) in
+  Alcotest.(check (option (float 1e-9)))
+    "timing:true means the fitted default"
+    (Some Cals_core.Mapper.default_timing_weight)
+    on.Proto.timing;
+  let off = parse (Printf.sprintf {|{%s,"timing":false}|} wl) in
+  Alcotest.(check (option (float 1e-9))) "timing:false is off" None
+    off.Proto.timing;
+  (* Round-trip: print then re-parse preserves the weight. *)
+  let printed = Proto.print_json (Proto.spec_to_json explicit) in
+  let again = parse printed in
+  Alcotest.(check (option (float 1e-9)))
+    "weight survives a round-trip" explicit.Proto.timing again.Proto.timing;
+  Alcotest.(check string) "design key ignores the weight"
+    (Proto.design_key off) (Proto.design_key explicit);
+  List.iter
+    (fun line ->
+      match Proto.spec_of_string ~default_id:"d" line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed timing %s" line)
+    [
+      Printf.sprintf {|{%s,"timing":0}|} wl;
+      Printf.sprintf {|{%s,"timing":-2}|} wl;
+      Printf.sprintf {|{%s,"timing":"fast"}|} wl;
+    ]
 
 (* ------------------------- queue ------------------------- *)
 
@@ -171,6 +213,7 @@ let test_drain_mixed () =
       checks = Check.Off;
       utilization = 0.55;
       optimize = false;
+      timing = None;
       deadline_s = None;
     };
   Scheduler.submit scheduler
@@ -183,6 +226,7 @@ let test_drain_mixed () =
       checks = Check.Off;
       utilization = 0.55;
       optimize = false;
+      timing = None;
       deadline_s = None;
     };
   let s = Scheduler.drain scheduler () in
@@ -230,6 +274,44 @@ let test_drain_mixed () =
   Alcotest.(check int) "summary.json completed" 7
     (int_of_float (num_member "completed" summary))
 
+(* An undegraded timing job ships the post-route critical path in its
+   artifact metrics; a twin without timing carries no timing fields at
+   all (and both ride the same warmed design session). *)
+let test_timing_metrics () =
+  let out = fresh_out () in
+  let config =
+    { Scheduler.default_config with Scheduler.jobs = 1; out_dir = out }
+  in
+  let scheduler = Scheduler.create config in
+  Scheduler.submit scheduler
+    (workload_spec ~id:"plain" ~seed:3 ~k_schedule:[ 0.0; 0.001 ] ());
+  Scheduler.submit scheduler
+    (workload_spec ~id:"timed" ~seed:3 ~timing:50.0
+       ~k_schedule:[ 0.0; 0.001 ] ());
+  let s = Scheduler.drain scheduler () in
+  Alcotest.(check int) "both complete" 2 s.Scheduler.completed;
+  let plain = parse_file (Filename.concat out "plain/metrics.json") in
+  Alcotest.(check bool) "no timing fields without the request" true
+    (Proto.member "timing" plain = None);
+  let timed = parse_file (Filename.concat out "timed/metrics.json") in
+  (match Proto.member "timing" timed with
+  | Some timing ->
+    Alcotest.(check (float 1e-9)) "weight recorded" 50.0
+      (num_member "t" timing);
+    let ns = num_member "critical_path_ns" timing in
+    Alcotest.(check bool) "critical path is a real positive delay" true
+      (ns > 0.0 && Float.is_finite ns);
+    Alcotest.(check (float 1e-6)) "ps is ns scaled" (1000.0 *. ns)
+      (num_member "critical_path_ps" timing)
+  | None -> Alcotest.fail "timing job's metrics.json has no timing object");
+  (* The spec in the artifact round-trips with the weight intact. *)
+  let job = parse_file (Filename.concat out "timed/job.json") in
+  match Proto.spec_of_json ~default_id:"" job with
+  | Ok spec ->
+    Alcotest.(check (option (float 1e-9)))
+      "job.json keeps the weight" (Some 50.0) spec.Proto.timing
+  | Error e -> Alcotest.failf "job.json does not re-parse: %s" e
+
 (* Overload: with watermarks at 1/2 every round of this 4-job batch runs
    at level 2 — checks shed to off, K schedule capped. *)
 let test_degradation () =
@@ -249,7 +331,7 @@ let test_degradation () =
     Scheduler.submit scheduler
       (workload_spec
          ~id:(Printf.sprintf "hot-%d" i)
-         ~seed:3 ~checks:Check.Full
+         ~seed:3 ~checks:Check.Full ~timing:50.0
          ~k_schedule:[ 0.0; 0.001; 0.01; 0.1 ]
          ())
   done;
@@ -267,7 +349,11 @@ let test_degradation () =
   Alcotest.(check bool) "checks shed" true
     (Proto.member "checks_shed" degradation = Some (Proto.Bool true));
   Alcotest.(check bool) "schedule capped" true
-    (Proto.member "k_capped" degradation = Some (Proto.Bool true))
+    (Proto.member "k_capped" degradation = Some (Proto.Bool true));
+  (* The overloaded rung sheds the STA: a timing request leaves the
+     timing fields absent rather than stale. *)
+  Alcotest.(check bool) "degraded run carries no timing fields" true
+    (Proto.member "timing" metrics = None)
 
 (* Past the triage watermark the ladder's deepest rung answers from the
    congestion forecast alone: jobs still complete, and their artifacts
@@ -289,7 +375,7 @@ let test_triage () =
     Scheduler.submit scheduler
       (workload_spec
          ~id:(Printf.sprintf "triage-%d" i)
-         ~seed:3
+         ~seed:3 ~timing:50.0
          ~k_schedule:[ 0.0; 0.001 ]
          ())
   done;
@@ -314,7 +400,11 @@ let test_triage () =
     | Some (Proto.Num _) -> true
     | _ -> false);
   Alcotest.(check bool) "forecast predicts a clean map" true
-    (Proto.member "violations" metrics = Some (Proto.Num 0.0))
+    (Proto.member "violations" metrics = Some (Proto.Num 0.0));
+  (* No route ran, so there is no critical path to report: the timing
+     request must leave the fields absent, never fabricate them. *)
+  Alcotest.(check bool) "triaged run carries no timing fields" true
+    (Proto.member "timing" metrics = None)
 
 (* A malformed spool line is rejected, recorded, and does not poison the
    rest of the batch. *)
@@ -350,11 +440,13 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "design-key" `Quick test_design_key;
+          Alcotest.test_case "timing" `Quick test_timing_proto;
         ] );
       ("queue", [ Alcotest.test_case "policy" `Quick test_queue_policy ]);
       ( "scheduler",
         [
           Alcotest.test_case "drain-mixed" `Quick test_drain_mixed;
+          Alcotest.test_case "timing-metrics" `Quick test_timing_metrics;
           Alcotest.test_case "degradation" `Quick test_degradation;
           Alcotest.test_case "triage" `Quick test_triage;
           Alcotest.test_case "spool" `Quick test_spool_and_parse_errors;

@@ -163,6 +163,64 @@ let test_delay_model_drive_matters () =
   Alcotest.(check bool) "slope comparison" true
     (d_strong -. buf.Cell.intrinsic_ns < d_weak -. inv_cell.Cell.intrinsic_ns)
 
+(* Timing-driven covering differential, over the whole golden corpus:
+   with the fitted default weight, the post-route critical path of the
+   accepted K must be no worse than the T=0 baseline on every design —
+   the Table 3/5 claim as an executable inequality. The fixture recipe
+   (utilization, placement seed) matches test_golden, so the T=0 side of
+   this differential is the corpus the golden snapshots pin. *)
+let golden_dir =
+  Option.value (Sys.getenv_opt "CALS_GOLDEN_DIR") ~default:"golden"
+
+let golden_designs =
+  [ "pla_shared_08"; "pla_wide_10"; "ml_control_10"; "ml_deep_08";
+    "pla_small_06" ]
+
+let test_timing_no_worse_on_golden_corpus () =
+  List.iter
+    (fun name ->
+      let net =
+        Cals_logic.Blif.read_file (Filename.concat golden_dir (name ^ ".blif"))
+      in
+      Cals_logic.Network.sweep net;
+      let subject = Cals_logic.Decompose.subject_of_network net in
+      let floorplan =
+        Floorplan.for_area
+          ~core_area:
+            (float_of_int (Cals_netlist.Subject.num_gates subject) *. 5.0)
+          ~utilization:0.45 ~aspect:1.0 ~geometry
+      in
+      let crit ~t =
+        let outcome =
+          Cals_core.Flow.run ~t ~subject ~library:lib ~floorplan
+            ~rng:(Rng.create 42) ()
+        in
+        match
+          ( outcome.Cals_core.Flow.accepted,
+            outcome.Cals_core.Flow.mapped,
+            outcome.Cals_core.Flow.placement,
+            outcome.Cals_core.Flow.routing )
+        with
+        | Some it, Some mapped, Some placement, Some routing ->
+          let report =
+            Sta.analyze
+              ~net_length_um:routing.Cals_route.Router.net_length_um mapped
+              ~wire ~placement
+          in
+          (it.Cals_core.Flow.k, report.Sta.critical.Sta.arrival_ns)
+        | _ -> Alcotest.failf "%s: flow did not accept a routed K (t=%g)" name t
+      in
+      let k0, baseline = crit ~t:0.0 in
+      let k1, timed = crit ~t:Cals_core.Mapper.default_timing_weight in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "%s: T>0 critical path %.4f ns (K=%g) <= T=0 baseline %.4f ns \
+            (K=%g)"
+           name timed k1 baseline k0)
+        true
+        (timed <= baseline +. 1e-9))
+    golden_designs
+
 let () =
   Alcotest.run "sta"
     [
@@ -177,5 +235,7 @@ let () =
           Alcotest.test_case "per-pi arrival" `Quick test_po_arrival_from_pi;
           Alcotest.test_case "full circuit" `Quick test_full_analysis_on_mapped_circuit;
           Alcotest.test_case "drive model" `Quick test_delay_model_drive_matters;
+          Alcotest.test_case "timing no worse on golden corpus" `Quick
+            test_timing_no_worse_on_golden_corpus;
         ] );
     ]
