@@ -730,6 +730,92 @@ let perf_report ~scale ~jobs ~json =
     rstats.Router.Session.arena_bytes route_identical;
   if not route_identical then
     print_endline "  WARNING: session-warm routing diverged from cold routing";
+  (* Fleet persistence: a batch of repeated-design jobs drained through
+     the scheduler with a persistent match-cache store, then "restarted"
+     — a fresh scheduler over the same --cache-dir — to measure how warm
+     the service comes back up. *)
+  let fleet_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cals-bench-fleet-%d" (Unix.getpid ()))
+  in
+  let fleet_cache = Filename.concat fleet_root "mcs" in
+  let fleet_jobs = 8 and fleet_designs = 2 in
+  let fleet_drain out =
+    let config =
+      {
+        Scheduler.default_config with
+        Scheduler.jobs = 2;
+        out_dir = out;
+        cache_dir = Some fleet_cache;
+      }
+    in
+    let scheduler = Scheduler.create config in
+    for i = 0 to fleet_jobs - 1 do
+      Scheduler.submit scheduler
+        {
+          Proto.id = Printf.sprintf "fleet-%d" i;
+          input =
+            Proto.Workload
+              {
+                Fuzz.seed = 3 + (i mod fleet_designs);
+                family = Fuzz.Pla;
+                inputs = 6;
+                outputs = 3;
+                size = 12;
+              };
+          k_schedule = Some [ 0.0; 0.001 ];
+          checks = Check.Off;
+          utilization = 0.55;
+          optimize = false;
+          timing = None;
+          deadline_s = None;
+        }
+    done;
+    Scheduler.drain scheduler ()
+  in
+  let store_counter name =
+    let s = Metrics.snapshot () in
+    match
+      List.find_opt (fun c -> c.Metrics.c_name = name) s.Metrics.counters
+    with
+    | Some c -> c.Metrics.c_value
+    | None -> 0
+  in
+  let fleet_cold_out = Filename.concat fleet_root "cold" in
+  let fleet_warm_out = Filename.concat fleet_root "warm" in
+  let fleet_cold, fleet_cold_s = wall (fun () -> fleet_drain fleet_cold_out) in
+  let store_hit0 = store_counter "serve_cache_store_hit" in
+  let fleet_warm, fleet_warm_s = wall (fun () -> fleet_drain fleet_warm_out) in
+  let restart_store_hits = store_counter "serve_cache_store_hit" - store_hit0 in
+  let restart_warm_hit_rate =
+    float_of_int restart_store_hits /. float_of_int fleet_designs
+  in
+  let fleet_throughput = float_of_int fleet_jobs /. max 1e-9 fleet_warm_s in
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fleet_identical =
+    fleet_cold.Scheduler.completed = fleet_jobs
+    && fleet_warm.Scheduler.completed = fleet_jobs
+    && List.for_all
+         (fun i ->
+           let v = Printf.sprintf "fleet-%d/mapped.v" i in
+           slurp (Filename.concat fleet_cold_out v)
+           = slurp (Filename.concat fleet_warm_out v))
+         (List.init fleet_jobs (fun i -> i))
+  in
+  Printf.printf
+    "  serve fleet (%d jobs, %d designs): cold drain %.3fs, restarted \
+     %.3fs (%.1f jobs/s),\n\
+    \    restart warm hit rate %.2f, identical=%b\n"
+    fleet_jobs fleet_designs fleet_cold_s fleet_warm_s fleet_throughput
+    restart_warm_hit_rate fleet_identical;
+  if not fleet_identical then
+    print_endline "  WARNING: restarted fleet drain diverged from cold drain";
   let spans = Export.span_stats () in
   (match json with
   | None -> ()
@@ -749,7 +835,7 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 6,\n\
+      \  \"schema\": 7,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -819,6 +905,17 @@ let perf_report ~scale ~jobs ~json =
       \    \"arena_bytes\": %d,\n\
       \    \"identical\": %b\n\
       \  },\n\
+      \  \"serve\": {\n\
+      \    \"fleet\": {\n\
+      \      \"jobs\": %d,\n\
+      \      \"designs\": %d,\n\
+      \      \"cold_drain_s\": %.6f,\n\
+      \      \"restart_drain_s\": %.6f,\n\
+      \      \"throughput_jobs_per_s\": %.3f,\n\
+      \      \"restart_warm_hit_rate\": %.4f,\n\
+      \      \"identical\": %b\n\
+      \    }\n\
+      \  },\n\
       \  \"spans\": [\n%s\n\
       \  ]\n\
        }\n"
@@ -854,7 +951,9 @@ let perf_report ~scale ~jobs ~json =
       (List.length fixtures)
       route_cold_s route_warm_s route_speedup warm_hit_rate
       rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted
-      rstats.Router.Session.arena_bytes route_identical spans_json;
+      rstats.Router.Session.arena_bytes route_identical fleet_jobs
+      fleet_designs fleet_cold_s fleet_warm_s fleet_throughput
+      restart_warm_hit_rate fleet_identical spans_json;
     close_out oc;
     Printf.printf "  wrote %s\n" path);
   print_string (Export.summary ());

@@ -28,6 +28,7 @@ module Fuzz = Cals_verify.Fuzz
 module Probe = Cals_telemetry.Probe
 module Export = Cals_telemetry.Export
 module Scheduler = Cals_serve.Scheduler
+module Shard = Cals_serve.Shard
 
 (* Map -v occurrences to a Logs level: 0 warnings, 1 info, 2+ debug. *)
 let setup_logs verbosity =
@@ -366,17 +367,46 @@ let run_fuzz verbosity iterations seed out replay level jobs =
 
 (* ------------------------- serve ------------------------- *)
 
+let serve_export trace metrics =
+  (match trace with
+  | Some path ->
+    Export.write_chrome_trace path;
+    Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n" path
+  | None -> ());
+  match metrics with
+  | Some ("prometheus" | "prom") -> print_string (Export.prometheus ())
+  | Some _ -> print_string (Export.summary ())
+  | None -> ()
+
 let run_serve verbosity spool from_stdin jobs out deadline max_attempts
     backoff high_watermark overload_watermark triage_watermark
-    degraded_k_points watch tick trace metrics =
+    degraded_k_points watch tick trace metrics listen workers cache_dir
+    worker_mode =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
-  if spool = None && not from_stdin then begin
-    prerr_endline
-      "serve: nothing to do — give a job source (--spool DIR and/or --stdin)";
+  let fail msg =
+    prerr_endline ("serve: " ^ msg);
     2
-  end
-  else begin
+  in
+  let listen_addr =
+    match listen with
+    | None -> Ok None
+    | Some s -> (
+      match Cals_util.Netaddr.parse s with
+      | Ok a -> Ok (Some a)
+      | Error e -> Error (Printf.sprintf "bad --listen address %S: %s" s e))
+  in
+  let cache_ok =
+    match cache_dir with
+    | None -> Ok ()
+    | Some d -> (
+      match Cals_util.Fsutil.writable_dir d with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "unusable --cache-dir %S: %s" d e))
+  in
+  match (listen_addr, cache_ok) with
+  | Error msg, _ | _, Error msg -> fail msg
+  | Ok listen_addr, Ok () ->
     let config =
       {
         Scheduler.jobs;
@@ -390,36 +420,104 @@ let run_serve verbosity spool from_stdin jobs out deadline max_attempts
         degraded_k_points;
         watch;
         tick_s = tick;
+        cache_dir;
+        adaptive = true;
       }
     in
-    let scheduler = Scheduler.create config in
-    if from_stdin then begin
-      try
-        while true do
-          let line = input_line stdin in
-          ignore (Scheduler.submit_line scheduler ~source:"stdin" line)
-        done
-      with End_of_file -> ()
-    end;
-    let s = Scheduler.drain scheduler ?spool () in
-    Printf.printf
-      "serve: %d submitted, %d completed, %d quarantined, %d retries, %d \
-       timeouts, %d parse errors in %.2fs\n"
-      s.Scheduler.submitted s.Scheduler.completed s.Scheduler.quarantined
-      s.Scheduler.retries s.Scheduler.timeouts s.Scheduler.parse_errors
-      s.Scheduler.wall_s;
-    (match trace with
-    | Some path ->
-      Export.write_chrome_trace path;
-      Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n" path
-    | None -> ());
-    (match metrics with
-    | Some ("prometheus" | "prom") -> print_string (Export.prometheus ())
-    | Some _ -> print_string (Export.summary ())
-    | None -> ());
-    if s.Scheduler.quarantined = 0 && s.Scheduler.parse_errors = 0 then 0
-    else 1
-  end
+    if worker_mode then begin
+      (* Stdout is the fleet protocol channel; format_reporter already
+         keeps Info/Debug/Error on stderr. *)
+      Shard.worker_main config;
+      0
+    end
+    else if workers > 0 then begin
+      if spool = None && (not from_stdin) && listen_addr = None then
+        fail
+          "nothing to do — give a job source (--spool DIR, --stdin or \
+           --listen ADDR)"
+      else begin
+        let worker_argv =
+          Array.of_list
+            ([ Sys.executable_name; "serve"; "--worker"; "--out"; out ]
+            @ (match cache_dir with
+              | Some d -> [ "--cache-dir"; d ]
+              | None -> [])
+            @ (match deadline with
+              | Some s -> [ "--deadline"; Printf.sprintf "%g" s ]
+              | None -> [])
+            @ [
+                "--max-attempts";
+                string_of_int max_attempts;
+                "--degraded-k-points";
+                string_of_int degraded_k_points;
+              ]
+            @ List.concat_map (fun _ -> [ "-v" ]) verbosity)
+        in
+        let config =
+          {
+            Cals_serve.Shard.default_config with
+            workers;
+            worker_argv;
+            out_dir = out;
+            listen = listen_addr;
+            max_attempts;
+            backoff_s = backoff;
+            high_watermark;
+            overload_watermark;
+            triage_watermark;
+            tick_s = tick;
+          }
+        in
+        let shard = Shard.create config in
+        if from_stdin then begin
+          try
+            while true do
+              let line = input_line stdin in
+              ignore (Shard.submit_line shard ~source:"stdin" line)
+            done
+          with End_of_file -> ()
+        end;
+        let s = Shard.drain shard ?spool () in
+        Printf.printf
+          "serve: %d submitted, %d completed, %d quarantined, %d retries, \
+           %d timeouts, %d shed, %d worker restarts, %d parse errors in \
+           %.2fs\n"
+          s.Shard.submitted s.Shard.completed s.Shard.quarantined
+          s.Shard.retries s.Shard.timeouts s.Shard.shed s.Shard.restarts
+          s.Shard.parse_errors s.Shard.wall_s;
+        serve_export trace metrics;
+        if
+          s.Shard.quarantined = 0 && s.Shard.parse_errors = 0
+          && s.Shard.shed = 0
+        then 0
+        else 1
+      end
+    end
+    else if listen_addr <> None then
+      fail "--listen needs a worker fleet; pass --workers N (N >= 1)"
+    else if spool = None && not from_stdin then
+      fail "nothing to do — give a job source (--spool DIR and/or --stdin)"
+    else begin
+      let scheduler = Scheduler.create config in
+      if from_stdin then begin
+        try
+          while true do
+            let line = input_line stdin in
+            ignore (Scheduler.submit_line scheduler ~source:"stdin" line)
+          done
+        with End_of_file -> ()
+      end;
+      let s = Scheduler.drain scheduler ?spool () in
+      Printf.printf
+        "serve: %d submitted, %d completed, %d quarantined, %d retries, %d \
+         timeouts, %d parse errors in %.2fs\n"
+        s.Scheduler.submitted s.Scheduler.completed s.Scheduler.quarantined
+        s.Scheduler.retries s.Scheduler.timeouts s.Scheduler.parse_errors
+        s.Scheduler.wall_s;
+      serve_export trace metrics;
+      if s.Scheduler.quarantined = 0 && s.Scheduler.parse_errors = 0 then 0
+      else 1
+    end
 
 (* ------------------------- lib ------------------------- *)
 
@@ -762,6 +860,42 @@ let serve_tick_arg =
   let doc = "Idle sleep / spool poll interval in seconds." in
   Arg.(value & opt float 0.1 & info [ "tick" ] ~docv:"S" ~doc)
 
+let serve_listen_arg =
+  let doc =
+    "Accept job submissions over a socket — $(b,unix:PATH) or \
+     $(b,[HOST]:PORT). Clients send one JSON job spec per line (answered \
+     with its assigned id) and $(b,{\"op\":\"drain\"}) to finish the batch \
+     and receive the summary. Requires $(b,--workers)."
+  in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let serve_workers_arg =
+  let doc =
+    "Shard jobs over $(docv) supervised worker processes instead of \
+     running in-process: jobs hash by design onto workers, a crashed \
+     worker is restarted and its in-flight job retried, and per-worker \
+     queues shed their oldest job past the watermark. 0 disables the \
+     fleet."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let serve_cache_dir_arg =
+  let doc =
+    "Persist sealed match caches under $(docv), keyed by design \
+     fingerprint, and warm new scheduler (or worker) processes from them \
+     — a restarted service pays for pattern matching only once per \
+     design, ever."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let serve_worker_arg =
+  let doc =
+    "Internal: run as a fleet worker — serve one job request per stdin \
+     line, reply on stdout. Spawned by $(b,--workers); not for direct \
+     use."
+  in
+  Arg.(value & flag & info [ "worker" ] ~doc)
+
 let serve_cmd =
   let doc = "run the batch mapping service (spool or stdin jobs)" in
   let man =
@@ -797,7 +931,9 @@ let serve_cmd =
       $ serve_jobs_arg $ serve_out_arg $ serve_deadline_arg
       $ serve_attempts_arg $ serve_backoff_arg $ serve_high_arg
       $ serve_overload_arg $ serve_triage_arg $ serve_degraded_k_arg
-      $ serve_watch_arg $ serve_tick_arg $ trace_arg $ metrics_arg)
+      $ serve_watch_arg $ serve_tick_arg $ trace_arg $ metrics_arg
+      $ serve_listen_arg $ serve_workers_arg $ serve_cache_dir_arg
+      $ serve_worker_arg)
 
 let sta_cmd =
   let doc = "map, place, route and report static timing" in

@@ -413,15 +413,20 @@ let established_rejected (it : iteration) =
 
 let run_adaptive ?(k_schedule = default_k_schedule) ?router_config ?strategy
     ?(checks = Check.Off) ?(incremental = true) ?(route_incremental = true)
-    ?(route_jobs = 1) ?(t = 0.0) ?(cancel = Cals_util.Cancel.never) ~subject
-    ~library ~floorplan ~rng () =
+    ?(route_jobs = 1) ?(t = 0.0) ?(cancel = Cals_util.Cancel.never) ?session
+    ?positions ~subject ~library ~floorplan ~rng () =
   Span.with_ ~cat:"flow" "flow.run_adaptive" @@ fun () ->
   let positions =
-    Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
-    Placement.place_subject subject ~floorplan ~rng
+    match positions with
+    | Some positions -> positions
+    | None ->
+      Span.with_ ~cat:"flow" "flow.place_subject" @@ fun () ->
+      Placement.place_subject subject ~floorplan ~rng
   in
   let session =
-    make_session ~incremental ?strategy ~subject ~library ~positions ()
+    match session with
+    | Some _ as s -> s
+    | None -> make_session ~incremental ?strategy ~subject ~library ~positions ()
   in
   let route_session = make_route_session ~route_incremental session in
   let route_pool =

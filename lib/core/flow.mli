@@ -178,6 +178,8 @@ val run_adaptive :
   ?route_jobs:int ->
   ?t:float ->
   ?cancel:Cals_util.Cancel.t ->
+  ?session:Incremental.session ->
+  ?positions:Cals_util.Geom.point array ->
   subject:Cals_netlist.Subject.t ->
   library:Cals_cell.Library.t ->
   floorplan:Cals_place.Floorplan.t ->
@@ -218,7 +220,15 @@ val run_adaptive :
     iteration list is always a schedule prefix. There is no [estimate]
     parameter: the search owns the estimator (triage probes, [Prune]
     confirming routes); [estimate:Off] would defeat its purpose, and the
-    linear {!run} remains the way to sweep without forecasts. *)
+    linear {!run} remains the way to sweep without forecasts.
+
+    [session] and [positions] let a caller that already owns a warmed
+    {!Incremental} session and its companion placement (the serve
+    scheduler's per-design cache) thread them through instead of placing
+    and warming from scratch — exactly like {!evaluate_k}'s [session]
+    parameter. When [positions] is given, [rng] is unused; when [session]
+    is given, [incremental] and [strategy] are ignored (the session fixes
+    both). *)
 
 val evaluate_k :
   ?router_config:Cals_route.Router.config ->

@@ -204,7 +204,32 @@ let stats session =
 
 let partition session = session.partition
 let options session = session.options
+let library session = session.library
 let route_session session = session.route_session
 
 let fingerprints session =
   Array.to_list (Array.map (fun t -> (t.root, t.fp)) session.trees)
+
+let export session =
+  Array.to_list session.trees
+  |> List.filter_map (fun t ->
+         Option.map
+           (fun entries -> (t.fp, entries))
+           (Hashtbl.find_opt session.cache t.fp))
+
+let preload session entries =
+  if Atomic.get session.sealed then
+    invalid_arg "Incremental.preload: session is sealed";
+  let wanted = Hashtbl.create (Array.length session.trees) in
+  Array.iter (fun t -> Hashtbl.replace wanted t.fp ()) session.trees;
+  let installed = ref 0 in
+  Mutex.lock session.lock;
+  List.iter
+    (fun (fp, matches) ->
+      if Hashtbl.mem wanted fp && not (Hashtbl.mem session.cache fp) then begin
+        Hashtbl.add session.cache fp matches;
+        incr installed
+      end)
+    entries;
+  Mutex.unlock session.lock;
+  !installed

@@ -93,6 +93,9 @@ val partition : session -> Partition.t
 val options : session -> Mapper.options
 (** The base options the session was created with. *)
 
+val library : session -> Cals_cell.Library.t
+(** The library the session matches against. *)
+
 val route_session : session -> Cals_route.Router.Session.t
 (** The session's router companion: a {!Cals_route.Router.Session}
     created alongside the match cache, so the K loop that reuses match
@@ -105,3 +108,22 @@ val route_session : session -> Cals_route.Router.Session.t
 val fingerprints : session -> (int * int64) list
 (** [(root, fingerprint)] per tree, in root order — exposed for tests and
     diagnostics. *)
+
+val export : session -> (int64 * (int * Cover.node_matches) list) list
+(** The cached match sets, one [(fingerprint, per-node candidates)] pair
+    per cached tree in tree order. Candidate lists keep their exact
+    enumeration order, so a session rebuilt from an export maps
+    bit-identically (see {!Cover.run}). Intended for the persistent
+    match-cache store ({!Cals_serve.Store}); call after {!warm} to export
+    the complete cache. *)
+
+val preload : session -> (int64 * (int * Cover.node_matches) list) list -> int
+(** Install previously {!export}ed match sets into a fresh session's
+    cache, before {!warm}/{!seal}. Only entries whose fingerprint matches
+    one of the session's own trees are installed — anything else (a
+    different subject, partition or library vintage) is silently ignored,
+    so a stale store can only produce cold misses, never wrong matches.
+    Returns the number of entries installed. Installed trees are skipped
+    by {!warm} (no miss is counted), so subsequent {!map} lookups count as
+    cache hits. Raises [Invalid_argument] if the session is already
+    sealed. *)

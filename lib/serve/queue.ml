@@ -52,6 +52,14 @@ let record_fault t ~now (job : Job.t) fault =
 
 let depth t = locked t (fun () -> List.length t.jobs)
 
+let shed_oldest t =
+  locked t (fun () ->
+      match t.jobs with
+      | [] -> None
+      | oldest :: rest ->
+        t.jobs <- rest;
+        Some oldest)
+
 let next_gate t ~now =
   locked t @@ fun () ->
   match t.jobs with

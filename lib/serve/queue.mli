@@ -36,6 +36,14 @@ val depth : t -> int
 (** Jobs currently queued (ready or backing off), excluding running
     ones — the scheduler's overload signal. *)
 
+val shed_oldest : t -> Job.t option
+(** Pop the oldest queued job unconditionally (ignoring backoff gates),
+    or [None] on an empty queue. The shard front-end's backpressure
+    valve: when a worker's queue crosses its watermark, the oldest
+    waiter is shed to make room for the newest — and the same primitive
+    empties a dead worker's queue for re-routing. The caller owns the
+    popped job's fate (shed artifact, re-route, ...). *)
+
 val next_gate : t -> now:float -> float option
 (** Seconds until the earliest backoff gate among queued jobs opens;
     [None] when some job is ready now or the queue is empty. Lets the

@@ -73,6 +73,8 @@ type config = {
   degraded_k_points : int;
   watch : bool;
   tick_s : float;
+  cache_dir : string option;
+  adaptive : bool;
 }
 
 let default_config =
@@ -88,6 +90,8 @@ let default_config =
     degraded_k_points = 6;
     watch = false;
     tick_s = 0.1;
+    cache_dir = None;
+    adaptive = true;
   }
 
 type summary = {
@@ -109,6 +113,9 @@ type design = {
   floorplan : Floorplan.t;
   positions : Cals_util.Geom.point array;
   session : Incremental.session;
+  preloaded : int option;
+      (* Match sets installed from the persistent store before warming;
+         [None] when the scheduler runs without a cache dir. *)
 }
 
 type t = {
@@ -146,32 +153,16 @@ let create config =
 
 (* ------------------------- filesystem helpers ------------------------- *)
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let sanitize name =
-  let safe = function
-    | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.') as c -> c
-    | _ -> '_'
-  in
-  let s = String.map safe name in
-  if s = "" then "_" else s
-
-let write_file path contents =
-  mkdir_p (Filename.dirname path);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+let mkdir_p = Cals_util.Fsutil.mkdir_p
+let sanitize = Cals_util.Fsutil.sanitize
+let write_file = Cals_util.Fsutil.write_file
+let read_lines = Cals_util.Fsutil.read_lines
 
 let job_dir t (job : Job.t) =
   Filename.concat t.config.out_dir (sanitize job.Job.spec.Proto.id)
 
-let quarantine_dir t name =
-  Filename.concat (Filename.concat t.config.out_dir "quarantine") (sanitize name)
+let quarantine_dir out_dir name =
+  Filename.concat (Filename.concat out_dir "quarantine") (sanitize name)
 
 (* ------------------------- admission ------------------------- *)
 
@@ -199,7 +190,7 @@ let submit_line t ~source line =
       Ok ()
     | Error err ->
       t.parse_errors <- t.parse_errors + 1;
-      let dir = quarantine_dir t source in
+      let dir = quarantine_dir t.config.out_dir source in
       let path =
         Filename.concat dir (Printf.sprintf "parse-%03d.txt" t.parse_errors)
       in
@@ -207,18 +198,6 @@ let submit_line t ~source line =
         (Printf.sprintf "source: %s\nerror: %s\nline: %s\n" source err trimmed);
       Log.warn (fun m -> m "rejected job line from %s: %s" source err);
       Error err
-
-let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
 
 let load_spool t ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then 0
@@ -271,9 +250,9 @@ let placement_seed = function
   | Proto.Preset { seed; _ } -> seed
   | Proto.Workload p -> p.Fuzz.seed
 
-let build_design (spec : Proto.spec) =
-  Span.with_ ~cat:"serve" ~meta:(Proto.design_key spec) "serve.build_design"
-  @@ fun () ->
+let build_design ~cache_dir (spec : Proto.spec) =
+  let key = Proto.design_key spec in
+  Span.with_ ~cat:"serve" ~meta:key "serve.build_design" @@ fun () ->
   let network = network_of_input spec.Proto.input in
   if spec.Proto.optimize then Cals_logic.Optimize.script_area network
   else Cals_logic.Optimize.script_light network;
@@ -286,9 +265,46 @@ let build_design (spec : Proto.spec) =
   let rng = Cals_util.Rng.create (placement_seed spec.Proto.input + 1) in
   let positions = Placement.place_subject subject ~floorplan ~rng in
   let session = Incremental.create ~subject ~library ~positions () in
+  (* Preload the match cache from the persistent store before warming:
+     preloaded trees are skipped by [warm], so a populated store makes a
+     restarted scheduler's match phase (the expensive part of a design
+     build) a no-op. A cold, corrupt or version-skewed store file just
+     leaves [preloaded] at 0 and the warm below does the work. *)
+  let preloaded =
+    Option.map
+      (fun dir ->
+        match Store.load ~dir ~key session with
+        | Store.Loaded n ->
+          Log.info (fun m -> m "%s: warmed %d match sets from the store" key n);
+          n
+        | Store.Cold reason ->
+          (match reason with
+          | Store.Absent -> ()
+          | Store.Corrupt what ->
+            Log.warn (fun m ->
+                m "%s: store file unusable (%s), rebuilding cold" key what)
+          | Store.Version_skew v ->
+            Log.warn (fun m ->
+                m "%s: store file has format version %d, rebuilding cold" key v)
+          | Store.Key_mismatch ->
+            Log.warn (fun m ->
+                m "%s: store file belongs to another design, rebuilding cold"
+                  key));
+          0)
+      cache_dir
+  in
   Incremental.warm session;
   Incremental.seal session;
-  { subject; floorplan; positions; session }
+  (match (cache_dir, preloaded) with
+  | Some dir, Some n
+    when n < (Incremental.stats session).Incremental.trees -> (
+    match Store.save ~dir ~key session with
+    | Ok bytes ->
+      Log.debug (fun m -> m "%s: stored match cache (%d bytes)" key bytes)
+    | Error msg ->
+      Log.warn (fun m -> m "%s: could not store match cache: %s" key msg))
+  | _ -> ());
+  { subject; floorplan; positions; session; preloaded }
 
 (* Racing builders waste work but stay correct: the design is built
    outside the lock and the first insert wins, so every job with the same
@@ -305,7 +321,7 @@ let get_design t spec =
   match lookup () with
   | Some design -> design
   | None ->
-    let built = build_design spec in
+    let built = build_design ~cache_dir:t.config.cache_dir spec in
     Mutex.lock t.designs_mutex;
     let winner =
       match Hashtbl.find_opt t.designs key with
@@ -372,6 +388,15 @@ type run_metrics = {
          for timing AND the acceptance rode a real route at degradation
          level < 2 — degraded and triaged runs leave the timing fields
          absent rather than stale. *)
+  real_routes : int;
+      (* Iterations that paid a negotiated route (not estimator-skipped,
+         not legalize-rejected) — the currency the adaptive ladder
+         saves. *)
+  forecast_evals : int option;
+      (* [Some] when the adaptive K search ran this job's ladder. *)
+  store_preloaded : int option;
+      (* Match sets this job's design preloaded from the persistent
+         store; [None] without a cache dir. *)
 }
 
 type run_result = Success of run_metrics | Fault of Job.fault
@@ -381,7 +406,7 @@ type run_result = Success of run_metrics | Fault of Job.fault
    job ships, exactly like [Flow.run] (Full already checked every K
    inside [evaluate_k]). *)
 let run_schedule ~cancel ~checks ~estimate ~t ~design schedule =
-  let { subject; floorplan; positions; session } = design in
+  let { subject; floorplan; positions; session; _ } = design in
   let rec loop acc = function
     | [] -> (List.rev acc, None, None)
     | k :: rest ->
@@ -430,7 +455,17 @@ let metrics_json (job : Job.t) (m : run_metrics) =
             ("hits", Proto.Num (float_of_int m.cache_hits));
             ("misses", Proto.Num (float_of_int m.cache_misses));
             ("hit_rate", Proto.Num hit_rate);
+            ( "store_preloaded",
+              json_of_option
+                (fun n -> Proto.Num (float_of_int n))
+                m.store_preloaded );
           ] );
+      ("real_routes", Proto.Num (float_of_int m.real_routes));
+      ( "adaptive",
+        json_of_option
+          (fun evals ->
+            Proto.Obj [ ("forecast_evals", Proto.Num (float_of_int evals)) ])
+          m.forecast_evals );
       ("checks", Proto.Str (Check.level_to_string m.checks_run));
       ( "degradation",
         Proto.Obj
@@ -496,8 +531,43 @@ let run_job t ~level (job : Job.t) =
     let estimate = estimate_policy level in
     if estimate = Estimate.Triage then Metrics.incr m_triaged;
     let timing_t = Option.value spec.Proto.timing ~default:0.0 in
-    let iterations, accepted, artifacts =
-      run_schedule ~cancel ~checks ~estimate ~t:timing_t ~design schedule
+    (* The adaptive K search owns the estimator (triage probes + pruned
+       confirming routes), so it replaces the linear accept loop on every
+       rung except estimator-only triage, where no point routes at all
+       and the linear loop under [Triage] is already minimal. Accepted K
+       and artifacts are bit-identical either way (see
+       [Flow.run_adaptive]). *)
+    let use_adaptive = t.config.adaptive && estimate <> Estimate.Triage in
+    let iterations, accepted, artifacts, forecast_evals =
+      if use_adaptive then begin
+        let outcome, astats =
+          Flow.run_adaptive ~k_schedule:schedule ~checks ~t:timing_t ~cancel
+            ~session:design.session ~positions:design.positions
+            ~subject:design.subject ~library ~floorplan:design.floorplan
+            ~rng:(Cals_util.Rng.create 0) ()
+        in
+        let artifacts =
+          Option.map
+            (fun m -> (m, outcome.Flow.placement, outcome.Flow.routing))
+            outcome.Flow.mapped
+        in
+        ( outcome.Flow.iterations,
+          outcome.Flow.accepted,
+          artifacts,
+          Some astats.Flow.forecast_evals )
+      end
+      else
+        let iterations, accepted, artifacts =
+          run_schedule ~cancel ~checks ~estimate ~t:timing_t ~design schedule
+        in
+        (iterations, accepted, artifacts, None)
+    in
+    let real_routes =
+      List.length
+        (List.filter
+           (fun (it : Flow.iteration) ->
+             (not it.Flow.estimated) && it.Flow.hpwl_um < infinity)
+           iterations)
     in
     let mapped = Option.map (fun (m, _, _) -> m) artifacts in
     let critical_path_ns =
@@ -535,6 +605,9 @@ let run_job t ~level (job : Job.t) =
           | Some it -> it.Flow.estimated
           | None -> false);
         critical_path_ns;
+        real_routes;
+        forecast_evals;
+        store_preloaded = design.preloaded;
       }
     in
     write_success_artifacts t job m mapped;
@@ -552,9 +625,9 @@ let fault_stage_detail = function
   | Job.Violation { stage; detail } -> (stage, detail)
   | Job.Crashed detail -> ("crash", detail)
 
-let write_quarantine t (job : Job.t) fault =
+let write_quarantine ~out_dir (job : Job.t) fault =
   let spec = job.Job.spec in
-  let dir = quarantine_dir t spec.Proto.id in
+  let dir = quarantine_dir out_dir spec.Proto.id in
   mkdir_p dir;
   (* The spec itself is respoolable: drop job.json back in the spool to
      retry after a fix. *)
@@ -623,7 +696,7 @@ let apply_result t ((job : Job.t), result) =
     | `Quarantine ->
       t.quarantined <- t.quarantined + 1;
       Metrics.incr m_quarantined;
-      write_quarantine t job fault;
+      write_quarantine ~out_dir:t.config.out_dir job fault;
       Log.warn (fun f ->
           f "%s quarantined after %d attempts: %s" job.Job.spec.Proto.id
             job.Job.attempts

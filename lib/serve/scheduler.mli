@@ -61,12 +61,27 @@ type config = {
       (** Keep polling the spool when the queue drains (daemon mode)
           instead of exiting (one-shot drain, the default). *)
   tick_s : float;  (** Idle sleep / spool poll interval. *)
+  cache_dir : string option;
+      (** Persistent match-cache store directory ({!Store}). When set,
+          design builds preload their match sets from the store (so a
+          restarted scheduler — or a fleet worker — skips the match
+          phase of any design the store has seen) and write back any
+          design they had to warm cold. [None] (the default) keeps the
+          pre-fleet behavior: the cache dies with the process. *)
+  adaptive : bool;
+      (** Use {!Cals_core.Flow.run_adaptive} for each job's K ladder
+          (the default): estimator-seeded bisection + confirming routes,
+          bit-identical accepted K and artifacts to the linear accept
+          loop at a fraction of the negotiated routes. Estimator-only
+          triage (degradation level 3) is unaffected — no point routes
+          there either way. [false] restores the linear loop. *)
 }
 
 val default_config : config
 (** [jobs = 1], [out_dir = "cals-serve-out"], no default deadline,
     3 attempts, 50 ms backoff, watermarks 8 / 16 / 32, 6 degraded K
-    points, one-shot drain, 100 ms tick. *)
+    points, one-shot drain, 100 ms tick, no cache dir, adaptive K
+    search on. *)
 
 type summary = {
   submitted : int;
@@ -104,3 +119,48 @@ val drain : t -> ?spool:string -> unit -> summary
     pool is shut down, every submitted job is [Done] or [Quarantined],
     and [out_dir/summary.json] records the totals. Safe to call once
     per scheduler. *)
+
+(** {2 Single-run API}
+
+    The pieces of one job run, exposed so a {!Shard} worker process can
+    execute jobs with exactly the in-process scheduler's semantics (same
+    design cache, degradation behavior and artifact layout) while the
+    queue- and retry-level bookkeeping lives in the front-end. *)
+
+type run_metrics = {
+  wall_s : float;
+  iterations : int;  (** K points evaluated (routed or forecast). *)
+  accepted_k : float option;
+  cells : int;
+  cell_area : float;
+  violations : int option;
+  cache_hits : int;  (** Match-cache hits during this run. *)
+  cache_misses : int;
+  checks_run : Cals_verify.Check.level;
+  degrade_level : int;
+  k_capped : bool;
+  estimated : bool;
+  critical_path_ns : float option;
+      (** Post-route STA at the accepted K; see [metrics.json]. *)
+  real_routes : int;
+      (** Iterations that paid a negotiated route — what the adaptive
+          ladder minimizes. *)
+  forecast_evals : int option;
+      (** Forecast-only probe count when the adaptive search ran. *)
+  store_preloaded : int option;
+      (** Match sets the design preloaded from the persistent store
+          ([None] without [cache_dir]). *)
+}
+
+type run_result = Success of run_metrics | Fault of Job.fault
+
+val run_job : t -> level:int -> Job.t -> run_result
+(** Execute one run of one job at the given degradation level:
+    increment its attempt counter, resolve (or build) its design, run
+    its K ladder and write its artifact directory on success. Faults
+    are returned, not applied — the caller owns the retry/quarantine
+    policy. *)
+
+val write_quarantine : out_dir:string -> Job.t -> Job.fault -> unit
+(** Write [<out_dir>/quarantine/<id>/]: the respoolable job spec, the
+    fault, and a fuzz reproducer for synthetic workload inputs. *)

@@ -123,6 +123,55 @@ let test_serve () =
   (* No job source is a usage error. *)
   check_exit "serve without a source" 2 (Printf.sprintf "%s serve" cals)
 
+(* The fleet flags: a 2-worker sharded drain with a persistent cache
+   dir works end to end twice (the second run restart-warm), and every
+   bad-flag path is a clean usage error, exit 2. *)
+let test_serve_fleet () =
+  let spool () =
+    let dir = "cli-fleet-spool" in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out (Filename.concat dir "jobs.json") in
+    output_string oc
+      ("{\"id\":\"fleet-1\",\"workload\":{\"family\":\"pla\",\"seed\":3,\"inputs\":6,\"outputs\":3,\"size\":12},\"k_schedule\":[0,0.001]}\n\
+        {\"id\":\"fleet-2\",\"workload\":{\"family\":\"pla\",\"seed\":4,\"inputs\":6,\"outputs\":3,\"size\":12},\"k_schedule\":[0,0.001]}\n");
+    close_out oc;
+    dir
+  in
+  check_exit "fleet drain" 0
+    (Printf.sprintf "%s serve --spool %s --out cli-fleet-out --workers 2 --cache-dir cli-fleet-cache"
+       cals (spool ()));
+  Alcotest.(check bool) "prints the fleet summary" true
+    (contains ~needle:"2 submitted, 2 completed" (logged ())
+    && contains ~needle:"worker restarts" (logged ()));
+  List.iter (check_file "fleet")
+    [
+      "cli-fleet-out/fleet-1/mapped.v";
+      "cli-fleet-out/fleet-2/mapped.v";
+      "cli-fleet-out/summary.json";
+    ];
+  Alcotest.(check bool) "cache dir populated" true
+    (Array.length (Sys.readdir "cli-fleet-cache") > 0);
+  (* Restart: the same drain again warms from the cache dir. *)
+  check_exit "fleet drain, warm" 0
+    (Printf.sprintf "%s serve --spool %s --out cli-fleet-warm --workers 2 --cache-dir cli-fleet-cache"
+       cals (spool ()));
+  check_file "fleet warm" "cli-fleet-warm/fleet-1/metrics.json";
+  (* Error paths are usage errors, before any worker is spawned. *)
+  check_exit "bad --listen address" 2
+    (Printf.sprintf "%s serve --spool cli-fleet-spool --workers 2 --listen bad:addr:99x"
+       cals);
+  Alcotest.(check bool) "says which address is bad" true
+    (contains ~needle:"bad --listen" (logged ()));
+  let oc = open_out "cli-fleet-notadir" in
+  close_out oc;
+  check_exit "unwritable --cache-dir" 2
+    (Printf.sprintf "%s serve --spool cli-fleet-spool --cache-dir cli-fleet-notadir/sub"
+       cals);
+  Alcotest.(check bool) "says which dir is unusable" true
+    (contains ~needle:"unusable --cache-dir" (logged ()));
+  check_exit "--listen without --workers" 2
+    (Printf.sprintf "%s serve --listen unix:cli-fleet.sock" cals)
+
 let test_bad_usage () =
   let code = run (Printf.sprintf "%s no-such-subcommand" cals) in
   Alcotest.(check bool) "unknown subcommand fails" true (code <> 0);
@@ -141,6 +190,7 @@ let () =
           Alcotest.test_case "lib" `Quick test_lib;
           Alcotest.test_case "fuzz" `Quick test_fuzz;
           Alcotest.test_case "serve" `Quick test_serve;
+          Alcotest.test_case "serve-fleet" `Quick test_serve_fleet;
           Alcotest.test_case "bad-usage" `Quick test_bad_usage;
         ] );
     ]

@@ -406,6 +406,124 @@ let test_triage () =
   Alcotest.(check bool) "triaged run carries no timing fields" true
     (Proto.member "timing" metrics = None)
 
+(* Restart warmth: drain a batch with a --cache-dir, then drain the same
+   batch on a brand-new scheduler pointed at the same directory. The
+   second run must warm every tree from disk (store_preloaded in the
+   artifact metrics, mapper_cache_hit advancing globally with zero
+   misses) and produce bit-identical artifacts. *)
+let test_restart_warmth () =
+  Cals_telemetry.Probe.enable ();
+  let cache_dir = fresh_out () ^ "-cache" in
+  let spec id = workload_spec ~id ~seed:3 ~k_schedule:[ 0.0; 0.001 ] () in
+  let run out =
+    let config =
+      {
+        Scheduler.default_config with
+        Scheduler.jobs = 1;
+        out_dir = out;
+        cache_dir = Some cache_dir;
+      }
+    in
+    let scheduler = Scheduler.create config in
+    Scheduler.submit scheduler (spec "warm-1");
+    Scheduler.submit scheduler (spec "warm-2");
+    Scheduler.drain scheduler ()
+  in
+  let counter name =
+    let s = Cals_telemetry.Metrics.snapshot () in
+    match
+      List.find_opt
+        (fun c -> c.Cals_telemetry.Metrics.c_name = name)
+        s.Cals_telemetry.Metrics.counters
+    with
+    | Some c -> c.Cals_telemetry.Metrics.c_value
+    | None -> 0
+  in
+  let out1 = fresh_out () in
+  let s1 = run out1 in
+  Alcotest.(check int) "first run completes" 2 s1.Scheduler.completed;
+  Alcotest.(check bool) "first run wrote the store" true
+    (Array.length (Sys.readdir cache_dir) > 0);
+  let cold = parse_file (Filename.concat out1 "warm-1/metrics.json") in
+  (match Proto.member "cache" cold with
+  | Some c ->
+    Alcotest.(check (float 0.0)) "cold start preloads nothing" 0.0
+      (num_member "store_preloaded" c)
+  | None -> Alcotest.fail "metrics.json has no cache object");
+  (* "Restart": a brand-new scheduler process-equivalent, same cache. *)
+  let hits0 = counter "mapper_cache_hit" in
+  let misses0 = counter "mapper_cache_miss" in
+  let out2 = fresh_out () in
+  let s2 = run out2 in
+  Alcotest.(check int) "second run completes" 2 s2.Scheduler.completed;
+  Alcotest.(check bool) "mapper_cache_hit advanced on the warm run" true
+    (counter "mapper_cache_hit" > hits0);
+  Alcotest.(check int) "the warm run never misses" misses0
+    (counter "mapper_cache_miss");
+  let warm = parse_file (Filename.concat out2 "warm-1/metrics.json") in
+  (match Proto.member "cache" warm with
+  | Some c ->
+    Alcotest.(check bool) "every tree preloaded from disk" true
+      (num_member "store_preloaded" c > 0.0);
+    Alcotest.(check (float 0.0)) "no in-run misses" 0.0 (num_member "misses" c);
+    Alcotest.(check bool) "positive hit rate" true
+      (num_member "hit_rate" c > 0.0)
+  | None -> Alcotest.fail "warm metrics.json has no cache object");
+  List.iter
+    (fun id ->
+      Alcotest.(check string)
+        (id ^ ": restart artifacts bit-identical")
+        (read_file (Filename.concat out1 (id ^ "/mapped.v")))
+        (read_file (Filename.concat out2 (id ^ "/mapped.v"))))
+    [ "warm-1"; "warm-2" ]
+
+(* ROADMAP item 5 residual: the undegraded scheduler rung rides
+   Flow.run_adaptive. Against a linear-drain twin (adaptive off) the
+   accepted K and the netlist must be identical, and the adaptive run
+   must pay at most as many real routes. *)
+let test_adaptive_ladder () =
+  let spec id =
+    workload_spec ~id ~seed:3
+      ~k_schedule:[ 0.0; 0.0002; 0.0005; 0.001; 0.005; 0.01; 0.05 ]
+      ()
+  in
+  let run ~adaptive id =
+    let out = fresh_out () in
+    let config =
+      {
+        Scheduler.default_config with
+        Scheduler.jobs = 1;
+        out_dir = out;
+        adaptive;
+      }
+    in
+    let scheduler = Scheduler.create config in
+    Scheduler.submit scheduler (spec id);
+    let s = Scheduler.drain scheduler () in
+    Alcotest.(check int) "job completes" 1 s.Scheduler.completed;
+    (parse_file (Filename.concat out (id ^ "/metrics.json")),
+     read_file (Filename.concat out (id ^ "/mapped.v")))
+  in
+  let adaptive, adaptive_v = run ~adaptive:true "adap" in
+  let linear, linear_v = run ~adaptive:false "lin" in
+  Alcotest.(check string) "identical netlist" linear_v adaptive_v;
+  Alcotest.(check (float 1e-12)) "identical accepted K"
+    (num_member "accepted_k" linear)
+    (num_member "accepted_k" adaptive);
+  let routes_lin = num_member "real_routes" linear in
+  let routes_adap = num_member "real_routes" adaptive in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive pays at most the linear routes (%g <= %g)"
+       routes_adap routes_lin)
+    true
+    (routes_adap <= routes_lin);
+  (* The adaptive run says how it searched. *)
+  match Proto.member "adaptive" adaptive with
+  | Some a ->
+    Alcotest.(check bool) "forecast evaluations recorded" true
+      (num_member "forecast_evals" a >= 0.0)
+  | None -> Alcotest.fail "adaptive metrics.json has no adaptive object"
+
 (* A malformed spool line is rejected, recorded, and does not poison the
    rest of the batch. *)
 let test_spool_and_parse_errors () =
@@ -449,6 +567,8 @@ let () =
           Alcotest.test_case "timing-metrics" `Quick test_timing_metrics;
           Alcotest.test_case "degradation" `Quick test_degradation;
           Alcotest.test_case "triage" `Quick test_triage;
+          Alcotest.test_case "restart-warmth" `Quick test_restart_warmth;
+          Alcotest.test_case "adaptive-ladder" `Quick test_adaptive_ladder;
           Alcotest.test_case "spool" `Quick test_spool_and_parse_errors;
         ] );
     ]

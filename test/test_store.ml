@@ -1,0 +1,271 @@
+(* The persistent match-cache store: a sealed session's matches must
+   round-trip through the on-disk format bit-identically (qcheck over
+   random workloads), and every damaged file — truncated, bit-flipped,
+   version-bumped, mis-keyed — must degrade to a counted cold miss that
+   leaves the session perfectly usable, never an exception. *)
+
+module Incremental = Cals_core.Incremental
+module Mapper = Cals_core.Mapper
+module Store = Cals_serve.Store
+module Metrics = Cals_telemetry.Metrics
+module Subject = Cals_netlist.Subject
+module Mapped = Cals_netlist.Mapped
+module Floorplan = Cals_place.Floorplan
+module Placement = Cals_place.Placement
+module Fuzz = Cals_verify.Fuzz
+module Gen = Cals_workload.Gen
+module Rng = Cals_util.Rng
+
+let lib = Cals_cell.Stdlib_018.library
+let geometry = Cals_cell.Library.geometry lib
+
+(* Counters are no-ops while the probe is disabled; the whole point here
+   is asserting them. *)
+let () = Cals_telemetry.Probe.enable ()
+
+(* ---------------- workload substrate ---------------- *)
+
+let session_of ~family ~seed ~inputs ~outputs ~size =
+  let net = Gen.of_fuzz ~family ~seed ~inputs ~outputs ~size in
+  Cals_logic.Network.sweep net;
+  let subject = Cals_logic.Decompose.subject_of_network net in
+  let floorplan =
+    Floorplan.for_area
+      ~core_area:(float_of_int (max 1 (Subject.num_gates subject)) *. 5.0)
+      ~utilization:0.45 ~aspect:1.0 ~geometry
+  in
+  let positions =
+    Placement.place_subject subject ~floorplan ~rng:(Rng.create (seed + 1))
+  in
+  fun () -> Incremental.create ~subject ~library:lib ~positions ()
+
+let mapped_identical (a : Mapped.t) (b : Mapped.t) =
+  a.Mapped.pi_names = b.Mapped.pi_names
+  && a.Mapped.outputs = b.Mapped.outputs
+  && Array.length a.Mapped.instances = Array.length b.Mapped.instances
+  && Array.for_all2
+       (fun (x : Mapped.instance) (y : Mapped.instance) ->
+         x.Mapped.cell.Cals_cell.Cell.name = y.Mapped.cell.Cals_cell.Cell.name
+         && x.Mapped.fanins = y.Mapped.fanins
+         && x.Mapped.seed = y.Mapped.seed)
+       a.Mapped.instances b.Mapped.instances
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cals-store-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let counter name =
+  let s = Metrics.snapshot () in
+  match
+    List.find_opt (fun c -> c.Metrics.c_name = name) s.Metrics.counters
+  with
+  | Some c -> c.Metrics.c_value
+  | None -> 0
+
+(* ---------------- qcheck round-trip ---------------- *)
+
+let workload_arb =
+  QCheck.make
+    ~print:(fun (f, s, i, o, z) ->
+      Printf.sprintf "family=%s seed=%d inputs=%d outputs=%d size=%d"
+        (match f with `Pla -> "pla" | `Multilevel -> "multilevel")
+        s i o z)
+    QCheck.Gen.(
+      let* family = oneofl [ `Pla; `Multilevel ] in
+      let* seed = 0 -- 1000 in
+      let* inputs = 4 -- 8 in
+      let* outputs = 2 -- 4 in
+      let* size = 8 -- 24 in
+      return (family, seed, inputs, outputs, size))
+
+(* Warm+seal a session, save it, load it into a fresh session of the
+   same design: every tree preloads, the store reports a hit, and
+   mapping from the preloaded cache is bit-identical to mapping from
+   the warmed one — with zero cache misses. *)
+let store_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"store round-trip is warm and identical"
+    workload_arb (fun (family, seed, inputs, outputs, size) ->
+      let make = session_of ~family ~seed ~inputs ~outputs ~size in
+      let dir = fresh_dir () in
+      let key = Printf.sprintf "rt-%d-%d" seed size in
+      let warmed = make () in
+      Incremental.warm warmed;
+      Incremental.seal warmed;
+      (match Store.save ~dir ~key warmed with
+      | Ok bytes ->
+        if bytes <= 28 then
+          QCheck.Test.fail_reportf "saved only %d bytes" bytes
+      | Error e -> QCheck.Test.fail_reportf "save failed: %s" e);
+      let trees = (Incremental.stats warmed).Incremental.trees in
+      let hits0 = counter "serve_cache_store_hit" in
+      let loaded = make () in
+      (match Store.load ~dir ~key loaded with
+      | Store.Loaded n when n = trees -> ()
+      | Store.Loaded n ->
+        QCheck.Test.fail_reportf "preloaded %d of %d trees" n trees
+      | Store.Cold _ -> QCheck.Test.fail_reportf "unexpected cold load");
+      if counter "serve_cache_store_hit" <> hits0 + 1 then
+        QCheck.Test.fail_reportf "hit counter did not advance";
+      Incremental.seal loaded;
+      let a = Incremental.map warmed ~k:4.0 in
+      let b = Incremental.map loaded ~k:4.0 in
+      if not (mapped_identical a.Mapper.mapped b.Mapper.mapped) then
+        QCheck.Test.fail_reportf "preloaded map differs from warmed map";
+      if a.Mapper.stats <> b.Mapper.stats then
+        QCheck.Test.fail_reportf "mapper stats differ";
+      let s = Incremental.stats loaded in
+      if s.Incremental.misses <> 0 then
+        QCheck.Test.fail_reportf "preloaded session missed %d times"
+          s.Incremental.misses;
+      if s.Incremental.hits = 0 then
+        QCheck.Test.fail_reportf "preloaded session never hit";
+      true)
+
+(* ---------------- deterministic damage battery ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let flip data pos =
+  let b = Bytes.of_string data in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  Bytes.to_string b
+
+(* Every damaged file must load as a *counted* cold miss — no exception
+   — and leave the session fully usable: warming it afterwards must
+   reproduce the undamaged mapping bit-for-bit. *)
+let test_damage_degrades_to_cold_miss () =
+  let make = session_of ~family:`Pla ~seed:11 ~inputs:6 ~outputs:3 ~size:14 in
+  let dir = fresh_dir () in
+  let key = "damage" in
+  let warmed = make () in
+  Incremental.warm warmed;
+  Incremental.seal warmed;
+  (match Store.save ~dir ~key warmed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  let reference = (Incremental.map warmed ~k:4.0).Mapper.mapped in
+  let file = Store.path ~dir ~key in
+  let good = read_file file in
+  let header_len = 8 + 4 + 8 + 8 in
+  let cases =
+    [
+      ("empty file", "", `Corrupt);
+      ("truncated header", String.sub good 0 10, `Corrupt);
+      ( "truncated payload",
+        String.sub good 0 (header_len + ((String.length good - header_len) / 2)),
+        `Corrupt );
+      ("flipped magic", flip good 0, `Corrupt);
+      ("version bump", flip good 8, `Version_skew);
+      ("flipped payload byte", flip good (header_len + 5), `Corrupt);
+      ("payload tail flip", flip good (String.length good - 1), `Corrupt);
+    ]
+  in
+  List.iter
+    (fun (name, data, expect) ->
+      write_file file data;
+      let corrupt0 = counter "serve_cache_store_corrupt" in
+      let session = make () in
+      (match (Store.load ~dir ~key session, expect) with
+      | Store.Cold (Store.Corrupt _), `Corrupt -> ()
+      | Store.Cold (Store.Version_skew v), `Version_skew ->
+        Alcotest.(check bool)
+          (name ^ ": skewed version is not ours")
+          true (v <> Store.version)
+      | Store.Cold other, _ ->
+        Alcotest.failf "%s: wrong cold reason %s" name
+          (match other with
+          | Store.Absent -> "absent"
+          | Store.Corrupt w -> "corrupt " ^ w
+          | Store.Version_skew v -> Printf.sprintf "version %d" v
+          | Store.Key_mismatch -> "key mismatch")
+      | Store.Loaded n, _ -> Alcotest.failf "%s: loaded %d entries" name n);
+      Alcotest.(check int)
+        (name ^ ": corrupt counter advanced")
+        (corrupt0 + 1)
+        (counter "serve_cache_store_corrupt");
+      (* The cold miss is survivable: warming still works, identically. *)
+      Incremental.warm session;
+      Incremental.seal session;
+      Alcotest.(check bool)
+        (name ^ ": session still maps identically")
+        true
+        (mapped_identical reference (Incremental.map session ~k:4.0).Mapper.mapped))
+    cases;
+  (* A structurally valid file under the wrong key is a key mismatch
+     (fingerprint collision paranoia), not a warm load. *)
+  write_file file good;
+  let other = Store.path ~dir ~key:"other" in
+  write_file other good;
+  let session = make () in
+  (match Store.load ~dir ~key:"other" session with
+  | Store.Cold Store.Key_mismatch -> ()
+  | _ -> Alcotest.fail "mis-keyed file must report Key_mismatch");
+  (* And a missing file is a plain miss on the miss counter. *)
+  let miss0 = counter "serve_cache_store_miss" in
+  (match Store.load ~dir:(fresh_dir ()) ~key session with
+  | Store.Cold Store.Absent -> ()
+  | _ -> Alcotest.fail "empty dir must load Cold Absent");
+  Alcotest.(check int) "miss counter advanced" (miss0 + 1)
+    (counter "serve_cache_store_miss")
+
+(* Saving is atomic enough for concurrent writers: the tmp file never
+   survives, and a load right after a save always sees a whole file. *)
+let test_save_then_load_immediately () =
+  let make = session_of ~family:`Pla ~seed:5 ~inputs:5 ~outputs:2 ~size:10 in
+  let dir = fresh_dir () in
+  let warmed = make () in
+  Incremental.warm warmed;
+  Incremental.seal warmed;
+  (match Store.save ~dir ~key:"atomic" warmed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  Alcotest.(check bool) "no tmp litter" true
+    (Sys.readdir dir |> Array.for_all (fun f -> Filename.extension f = ".mcs"));
+  let loaded = make () in
+  match Store.load ~dir ~key:"atomic" loaded with
+  | Store.Loaded n -> Alcotest.(check bool) "entries preloaded" true (n > 0)
+  | Store.Cold _ -> Alcotest.fail "fresh save must load warm"
+
+let test_unwritable_dir_is_an_error () =
+  let warmed =
+    session_of ~family:`Pla ~seed:7 ~inputs:5 ~outputs:2 ~size:10 ()
+  in
+  Incremental.warm warmed;
+  Incremental.seal warmed;
+  let file = Filename.temp_file "cals-store-test" ".notadir" in
+  match Store.save ~dir:(Filename.concat file "sub") ~key:"x" warmed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "saving under a file must fail gracefully"
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "roundtrip",
+        [ QCheck_alcotest.to_alcotest ~long:false store_roundtrip ] );
+      ( "damage",
+        [
+          Alcotest.test_case "degrades-to-cold-miss" `Quick
+            test_damage_degrades_to_cold_miss;
+          Alcotest.test_case "atomic-save" `Quick
+            test_save_then_load_immediately;
+          Alcotest.test_case "unwritable-dir" `Quick
+            test_unwritable_dir_is_an_error;
+        ] );
+    ]
