@@ -769,6 +769,7 @@ let perf_report ~scale ~jobs ~json =
           utilization = 0.55;
           optimize = false;
           timing = None;
+          orchestrate = None;
           deadline_s = None;
         }
     done;
@@ -816,6 +817,128 @@ let perf_report ~scale ~jobs ~json =
     restart_warm_hit_rate fleet_identical;
   if not fleet_identical then
     print_endline "  WARNING: restarted fleet drain diverged from cold drain";
+  (* Synthesis orchestration over the golden corpus: AIG strash node
+     reduction (the tech-independent claim) and best-vs-baseline accepted
+     K / subject gates / cell area / post-route critical path through
+     [Flow.orchestrate]. Falls back to the bench circuit's own network
+     when the corpus is not on disk (e.g. an installed binary). *)
+  let module Aig = Cals_logic.Aig in
+  let golden_dir = Filename.concat "test" "golden" in
+  let synth_designs =
+    if Sys.file_exists golden_dir && Sys.is_directory golden_dir then
+      Sys.readdir golden_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".blif")
+      |> List.sort compare
+      |> List.map (fun f ->
+             (Filename.chop_suffix f ".blif",
+              lazy (Cals_logic.Blif.read_file (Filename.concat golden_dir f))))
+    else
+      [ (circuit.name, lazy (Presets.spla_like ~scale ~seed:1 ())) ]
+  in
+  let synth_floorplan_of subject =
+    Floorplan.for_area
+      ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+      ~utilization:0.55 ~aspect:1.0 ~geometry
+  in
+  let crit_of (outcome : Flow.outcome) =
+    match (outcome.Flow.mapped, outcome.Flow.placement, outcome.Flow.routing)
+    with
+    | Some mapped, Some placement, Some routing ->
+      let report =
+        Sta.analyze ~net_length_um:routing.Router.net_length_um mapped ~wire
+          ~placement
+      in
+      Some report.Sta.critical.Sta.arrival_ns
+    | _ -> None
+  in
+  let synth_rows, synth_s =
+    wall (fun () ->
+        List.map
+          (fun (name, net) ->
+            let net = Lazy.force net in
+            let raw = Aig.of_network ~strash:false net in
+            let nodes_raw = Aig.num_nodes raw in
+            let nodes_strash = Aig.num_ands (Aig.apply Aig.Strash raw) in
+            let result =
+              Flow.orchestrate ~optimize:false ~network:net ~library
+                ~floorplan_of:synth_floorplan_of ~seed:1 ()
+            in
+            let accepted ev =
+              match ev.Flow.result with
+              | Some ({ Flow.accepted = Some it; _ }, _) ->
+                (Some it.Flow.k, Some it.Flow.cell_area)
+              | _ -> (None, None)
+            in
+            let base_k, base_area = accepted result.Flow.baseline in
+            let best_k, best_area = accepted result.Flow.best in
+            let base_crit, best_crit =
+              match (result.Flow.baseline.Flow.result, result.Flow.best.Flow.result)
+              with
+              | Some (bo, _), Some (so, _) -> (crit_of bo, crit_of so)
+              | _ -> (None, None)
+            in
+            (name, nodes_raw, nodes_strash,
+             result.Flow.baseline.Flow.gates, result.Flow.best.Flow.gates,
+             List.length result.Flow.evaluations, result.Flow.best_index,
+             base_k, best_k, base_area, best_area, base_crit, best_crit))
+          synth_designs)
+  in
+  let sumi f = List.fold_left (fun a r -> a + f r) 0 synth_rows in
+  let sumf f =
+    List.fold_left
+      (fun a r -> a +. Option.value ~default:0.0 (f r))
+      0.0 synth_rows
+  in
+  let synth_nodes_raw = sumi (fun (_, r, _, _, _, _, _, _, _, _, _, _, _) -> r) in
+  let synth_nodes_strash =
+    sumi (fun (_, _, s, _, _, _, _, _, _, _, _, _, _) -> s)
+  in
+  let synth_base_gates =
+    sumi (fun (_, _, _, g, _, _, _, _, _, _, _, _, _) -> g)
+  in
+  let synth_best_gates =
+    sumi (fun (_, _, _, _, g, _, _, _, _, _, _, _, _) -> g)
+  in
+  let synth_candidates =
+    sumi (fun (_, _, _, _, _, c, _, _, _, _, _, _, _) -> c)
+  in
+  let synth_k_never_worse =
+    List.for_all
+      (fun (_, _, _, _, _, _, _, base_k, best_k, _, _, _, _) ->
+        match (base_k, best_k) with
+        | Some b, Some s -> s <= b
+        | None, _ -> true
+        | Some _, None -> false)
+      synth_rows
+  in
+  let synth_base_area =
+    sumf (fun (_, _, _, _, _, _, _, _, _, a, _, _, _) -> a)
+  in
+  let synth_best_area =
+    sumf (fun (_, _, _, _, _, _, _, _, _, _, a, _, _) -> a)
+  in
+  let synth_base_crit =
+    sumf (fun (_, _, _, _, _, _, _, _, _, _, _, c, _) -> c)
+  in
+  let synth_best_crit =
+    sumf (fun (_, _, _, _, _, _, _, _, _, _, _, _, c) -> c)
+  in
+  Printf.printf
+    "  synth orchestration (%d designs, %.3fs): strash %d -> %d AIG nodes \
+     (-%.1f%%),\n\
+    \    subject %d -> %d gates, %d candidates, accepted-K never worse=%b\n"
+    (List.length synth_rows) synth_s synth_nodes_raw synth_nodes_strash
+    (100.0
+    *. float_of_int (synth_nodes_raw - synth_nodes_strash)
+    /. float_of_int (max 1 synth_nodes_raw))
+    synth_base_gates synth_best_gates synth_candidates synth_k_never_worse;
+  List.iter
+    (fun (name, _, _, bg, sg, _, best_idx, _, _, _, _, _, _) ->
+      Printf.printf "    %-18s %4d -> %4d gates (candidate %d)\n" name bg sg
+        best_idx)
+    synth_rows;
+  if not synth_k_never_worse then
+    print_endline "  WARNING: orchestration made the accepted K worse";
   let spans = Export.span_stats () in
   (match json with
   | None -> ()
@@ -835,7 +958,7 @@ let perf_report ~scale ~jobs ~json =
     let oc = open_out path in
     Printf.fprintf oc
       "{\n\
-      \  \"schema\": 7,\n\
+      \  \"schema\": 8,\n\
       \  \"circuit\": \"%s\",\n\
       \  \"scale\": %g,\n\
       \  \"gates\": %d,\n\
@@ -916,6 +1039,22 @@ let perf_report ~scale ~jobs ~json =
       \      \"identical\": %b\n\
       \    }\n\
       \  },\n\
+      \  \"synth\": {\n\
+      \    \"designs\": %d,\n\
+      \    \"candidates_explored\": %d,\n\
+      \    \"aig_nodes_raw\": %d,\n\
+      \    \"aig_nodes_strash\": %d,\n\
+      \    \"strash_reduction_pct\": %.2f,\n\
+      \    \"baseline_gates\": %d,\n\
+      \    \"best_gates\": %d,\n\
+      \    \"node_reduction\": %d,\n\
+      \    \"accepted_k_never_worse\": %b,\n\
+      \    \"baseline_area\": %.4f,\n\
+      \    \"best_area\": %.4f,\n\
+      \    \"baseline_crit_ns\": %.6f,\n\
+      \    \"best_crit_ns\": %.6f,\n\
+      \    \"orchestrate_s\": %.6f\n\
+      \  },\n\
       \  \"spans\": [\n%s\n\
       \  ]\n\
        }\n"
@@ -953,7 +1092,16 @@ let perf_report ~scale ~jobs ~json =
       rstats.Router.Session.nets_reused rstats.Router.Session.nets_rerouted
       rstats.Router.Session.arena_bytes route_identical fleet_jobs
       fleet_designs fleet_cold_s fleet_warm_s fleet_throughput
-      restart_warm_hit_rate fleet_identical spans_json;
+      restart_warm_hit_rate fleet_identical
+      (List.length synth_rows)
+      synth_candidates synth_nodes_raw synth_nodes_strash
+      (100.0
+      *. float_of_int (synth_nodes_raw - synth_nodes_strash)
+      /. float_of_int (max 1 synth_nodes_raw))
+      synth_base_gates synth_best_gates
+      (synth_base_gates - synth_best_gates)
+      synth_k_never_worse synth_base_area synth_best_area synth_base_crit
+      synth_best_crit synth_s spans_json;
     close_out oc;
     Printf.printf "  wrote %s\n" path);
   print_string (Export.summary ());
@@ -1102,6 +1250,7 @@ let micro_benchmarks () =
           utilization = 0.55;
           optimize = false;
           timing = None;
+          orchestrate = None;
           deadline_s = None;
         }
     done;

@@ -173,11 +173,79 @@ let dump_congestion path ~subject ~floorplan ~positions ~k =
     Printf.printf "wrote %s (estimated + real congestion maps at K=%g)\n" path
       k
 
+(* Orchestrated front end: generate candidate pass orderings, score each
+   through the adaptive K-loop, report the table and the selected
+   outcome. Candidate generation and selection live in
+   [Cals_logic.Orchestrate] / [Flow.orchestrate]; this is presentation. *)
+let run_orchestrated input scale seed optimize utilization jobs checks timing
+    budget route_jobs =
+  let network = load_network input scale seed in
+  let t = Option.value timing ~default:0.0 in
+  Printf.printf "orchestrating the front end: budget %d candidate orderings\n"
+    budget;
+  if jobs > 1 then
+    Printf.printf "evaluating candidates on %d domains\n" jobs;
+  match
+    Flow.orchestrate ~budget ~optimize ~checks ~jobs ~route_jobs ~t ~network
+      ~library
+      ~floorplan_of:(fun s -> floorplan_of s utilization)
+      ~seed ()
+  with
+  | exception Check.Violation { stage; detail } ->
+    Printf.printf "verification FAILED at stage %s: %s\n" stage detail;
+    2
+  | result ->
+    List.iteri
+      (fun idx ev ->
+        let accepted =
+          match ev.Flow.result with
+          | None -> "guarded"
+          | Some (o, _) -> (
+            match o.Flow.accepted with
+            | None -> "no K"
+            | Some it ->
+              Printf.sprintf "K=%-8g cells=%-5d area=%.1f" it.Flow.k
+                it.Flow.cells it.Flow.cell_area)
+        in
+        Printf.printf "%s%2d %-32s gates=%-5d %s\n"
+          (if idx = result.Flow.best_index then ">" else " ")
+          idx ev.Flow.cand_label ev.Flow.gates accepted)
+      result.Flow.evaluations;
+    let best = result.Flow.best in
+    Printf.printf
+      "selected %s: %d subject gates vs %d baseline (every candidate \
+       miter-verified)\n"
+      best.Flow.cand_label best.Flow.gates result.Flow.baseline.Flow.gates;
+    (match best.Flow.result with
+    | Some ({ Flow.accepted = Some it; _ }, _) ->
+      Printf.printf "accepted at K=%g\n" it.Flow.k;
+      0
+    | _ ->
+      print_endline "no K in the schedule was acceptable";
+      1)
+
 let run_flow verbosity input scale seed optimize utilization jobs checks
-    estimate timing adaptive dump incremental route_incremental route_jobs
-    trace metrics =
+    estimate timing adaptive orchestrate dump incremental route_incremental
+    route_jobs trace metrics =
   setup_logs verbosity;
   if trace <> None || metrics <> None then Probe.enable ();
+  match orchestrate with
+  | Some budget ->
+    let code =
+      run_orchestrated input scale seed optimize utilization jobs checks
+        timing budget route_jobs
+    in
+    (match trace with
+    | Some path ->
+      Export.write_chrome_trace path;
+      Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n" path
+    | None -> ());
+    (match metrics with
+    | Some ("prometheus" | "prom") -> print_string (Export.prometheus ())
+    | Some _ -> print_string (Export.summary ())
+    | None -> ());
+    code
+  | None ->
   let _, subject = prepare input scale seed optimize in
   let floorplan = floorplan_of subject utilization in
   let t = Option.value timing ~default:0.0 in
@@ -705,6 +773,20 @@ let route_jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "route-jobs" ] ~docv:"N" ~doc)
 
+let orchestrate_arg =
+  let doc =
+    "Explore tech-independent pass orderings before mapping: the legacy \
+     pipeline plus $(docv) AIG pass sequences (strash, rewrite, balance, \
+     dce, cse, constprop), each miter-verified and scored through the \
+     adaptive K loop; the best mapped result wins, with the baseline \
+     winning exact ties. Repeated runs are bit-identical. Without a value, \
+     $(docv) defaults to the curated schedule."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Cals_logic.Orchestrate.default_budget) (some int) None
+    & info [ "orchestrate" ] ~docv:"BUDGET" ~doc)
+
 let trace_arg =
   let doc =
     "Record spans for the whole run and write a Chrome trace_event JSON file \
@@ -745,8 +827,9 @@ let flow_cmd =
     Term.(
       const run_flow $ verbosity_arg $ input_arg $ scale_arg $ seed_arg
       $ optimize_arg $ utilization_arg $ jobs_arg $ check_arg $ estimate_arg
-      $ timing_arg $ adaptive_arg $ dump_congestion_arg $ incremental_arg
-      $ route_incremental_arg $ route_jobs_arg $ trace_arg $ metrics_arg)
+      $ timing_arg $ adaptive_arg $ orchestrate_arg $ dump_congestion_arg
+      $ incremental_arg $ route_incremental_arg $ route_jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let fuzz_iterations_arg =
   let doc = "Number of random workloads to check." in

@@ -537,3 +537,156 @@ let run_adaptive ?(k_schedule = default_k_schedule) ?router_config ?strategy
     ( { iterations; accepted = None; mapped = None; placement = None;
         routing = None },
       stats )
+
+(* ---------------- Synthesis orchestration ---------------- *)
+
+module Orchestrate = Cals_logic.Orchestrate
+module Subject = Cals_netlist.Subject
+
+let m_orch_evaluated =
+  Metrics.counter
+    ~help:"Orchestrator candidates scored through the K-loop"
+    "orchestrate_candidates_evaluated"
+
+let m_orch_guarded =
+  Metrics.counter
+    ~help:"Orchestrator candidates skipped by the subject-size guard"
+    "orchestrate_candidates_guarded"
+
+let m_orch_improvements =
+  Metrics.counter
+    ~help:"Orchestrated runs where a non-baseline candidate was selected"
+    "orchestrate_improvements"
+
+type candidate_eval = {
+  cand_label : string;
+  gates : int;
+  aig_ands : int option;
+  aig_depth : int option;
+  guarded : bool;
+  result : (outcome * adaptive_stats) option;
+}
+
+type orchestrated = {
+  evaluations : candidate_eval list;
+  baseline : candidate_eval;
+  best : candidate_eval;
+  best_index : int;
+  best_subject : Subject.t;
+  best_network : Cals_logic.Network.t;
+}
+
+(* Candidate ranking key, lexicographic and total: accepted K first (the
+   paper's objective — None sorts last), then subject gates, then mapped
+   cell area, then candidate index so the baseline wins exact ties.
+   Pure data comparison => repeated runs select identically. *)
+let score_of_eval idx ev =
+  match ev.result with
+  | None -> (infinity, max_int, infinity, idx)
+  | Some (outcome, _) -> (
+    match outcome.accepted with
+    | None -> (infinity, ev.gates, infinity, idx)
+    | Some it -> (it.k, ev.gates, it.cell_area, idx))
+
+let orchestrate ?(budget = Cals_logic.Orchestrate.default_budget)
+    ?(optimize = true) ?k_schedule ?router_config ?(checks = Check.Off)
+    ?(jobs = 1) ?(route_jobs = 1) ?(t = 0.0)
+    ?(cancel = Cals_util.Cancel.never) ~network ~library ~floorplan_of ~seed
+    () =
+  Span.with_ ~cat:"flow"
+    ~meta:(Printf.sprintf "budget=%d" budget)
+    "flow.orchestrate"
+  @@ fun () ->
+  let prepared =
+    Array.of_list (Orchestrate.prepare ~optimize ~budget network)
+  in
+  let baseline_prep = prepared.(0) in
+  let baseline_gates = Orchestrate.subject_gates baseline_prep.subject in
+  (* The orchestrator's correctness gate is unconditional: every candidate
+     that can be selected is miter-checked against the baseline network
+     before any K-loop money is spent on it. *)
+  let check_candidate idx (p : Orchestrate.prepared) =
+    Equiv.check_exn
+      ~rng:(Cals_util.Rng.create (seed + 7919 + idx))
+      ~stage:("orchestrate:" ^ p.label)
+      (Equiv.of_network ~label:"baseline network" baseline_prep.network)
+      (Equiv.of_subject ~label:(p.label ^ " subject") p.subject)
+  in
+  (* route_jobs nests a second pool inside each candidate task; keep the
+     router sequential when the candidates themselves run on a pool. *)
+  let route_jobs = if jobs > 1 then 1 else route_jobs in
+  let evaluate idx (p : Orchestrate.prepared) =
+    let gates = Orchestrate.subject_gates p.subject in
+    let guarded = idx > 0 && gates > baseline_gates in
+    if guarded then begin
+      Metrics.incr m_orch_guarded;
+      {
+        cand_label = p.label;
+        gates;
+        aig_ands = p.aig_ands;
+        aig_depth = p.aig_depth;
+        guarded;
+        result = None;
+      }
+    end
+    else begin
+      check_candidate idx p;
+      Metrics.incr m_orch_evaluated;
+      let result =
+        run_adaptive ?k_schedule ?router_config ~checks ~route_jobs ~t
+          ~cancel ~subject:p.subject ~library
+          ~floorplan:(floorplan_of p.subject)
+          ~rng:(Cals_util.Rng.create (seed + 1))
+          ()
+      in
+      {
+        cand_label = p.label;
+        gates;
+        aig_ands = p.aig_ands;
+        aig_depth = p.aig_depth;
+        guarded;
+        result = Some result;
+      }
+    end
+  in
+  let evaluations =
+    if jobs > 1 then begin
+      let pool = Cals_util.Pool.create ~jobs in
+      Fun.protect ~finally:(fun () -> Cals_util.Pool.shutdown pool)
+      @@ fun () -> Cals_util.Pool.map_array pool ~f:evaluate prepared
+    end
+    else Array.mapi evaluate prepared
+  in
+  let best_index = ref 0 in
+  Array.iteri
+    (fun idx ev ->
+      if compare (score_of_eval idx ev) (score_of_eval !best_index evaluations.(!best_index)) < 0
+      then best_index := idx)
+    evaluations;
+  let best_index = !best_index in
+  let best = evaluations.(best_index) in
+  if best_index > 0 then Metrics.incr m_orch_improvements;
+  (* Final gate: the selected mapped netlist (when one was accepted) is
+     re-mitered against its own subject graph. *)
+  (match best.result with
+  | Some ({ accepted = Some it; mapped = Some mapped; _ }, _) ->
+    Equiv.check_exn
+      ~rng:(Cals_util.Rng.create (equiv_seed ~k:it.k))
+      ~stage:"orchestrate:accepted"
+      (Equiv.of_subject ~label:"selected subject"
+         prepared.(best_index).subject)
+      (Equiv.of_mapped
+         ~label:(Printf.sprintf "selected mapped@K=%g" it.k)
+         mapped)
+  | _ -> ());
+  Log.info (fun m ->
+      m "orchestrate: selected %s (%d gates vs baseline %d) from %d candidates"
+        best.cand_label best.gates baseline_gates (Array.length evaluations));
+  {
+    evaluations = Array.to_list evaluations;
+    baseline = evaluations.(0);
+    best;
+    best_index;
+    best_subject = prepared.(best_index).subject;
+    best_network = prepared.(best_index).network;
+  }

@@ -274,6 +274,84 @@ val evaluate_k :
     individual stage (one covering DP, one maze search) always runs to
     completion before the token is seen. *)
 
+(** {1 Synthesis orchestration} *)
+
+type candidate_eval = {
+  cand_label : string;
+      (** ["baseline"] or the AIG pass-sequence label
+          (see {!Cals_logic.Orchestrate.candidate}). *)
+  gates : int;  (** Subject-graph gate count. *)
+  aig_ands : int option;  (** Live AIG nodes; [None] for the baseline. *)
+  aig_depth : int option;  (** AIG depth; [None] for the baseline. *)
+  guarded : bool;
+      (** The subject-size guard skipped this candidate: its subject had
+          more gates than the baseline's, so it could never be selected
+          and no K-loop evaluation was spent on it. *)
+  result : (outcome * adaptive_stats) option;
+      (** The candidate's adaptive K search; [None] iff [guarded]. *)
+}
+
+type orchestrated = {
+  evaluations : candidate_eval list;
+      (** Schedule order: the baseline first, then
+          {!Cals_logic.Orchestrate.schedule}. *)
+  baseline : candidate_eval;  (** [= List.hd evaluations], never guarded. *)
+  best : candidate_eval;  (** The selected candidate. *)
+  best_index : int;  (** Index of [best] in [evaluations]. *)
+  best_subject : Cals_netlist.Subject.t;
+      (** The selected front-end result — what a caller that caches
+          per-design state (the serve scheduler) should build on. *)
+  best_network : Cals_logic.Network.t;
+      (** The selected candidate's optimized Boolean network. *)
+}
+
+val orchestrate :
+  ?budget:int ->
+  ?optimize:bool ->
+  ?k_schedule:float list ->
+  ?router_config:Cals_route.Router.config ->
+  ?checks:Cals_verify.Check.level ->
+  ?jobs:int ->
+  ?route_jobs:int ->
+  ?t:float ->
+  ?cancel:Cals_util.Cancel.t ->
+  network:Cals_logic.Network.t ->
+  library:Cals_cell.Library.t ->
+  floorplan_of:(Cals_netlist.Subject.t -> Cals_place.Floorplan.t) ->
+  seed:int ->
+  unit ->
+  orchestrated
+(** Explore tech-independent pass orderings and keep the best mapped
+    result. {!Cals_logic.Orchestrate.prepare} generates the candidate
+    front-end results (legacy pipeline baseline + [budget] AIG pass
+    sequences, default {!Cals_logic.Orchestrate.default_budget});
+    each candidate whose subject does not exceed the baseline's gate
+    count is miter-checked against the baseline network
+    ({!Cals_verify.Equiv}, always on — a mismatch raises
+    {!Cals_verify.Check.Violation}) and then scored with
+    {!run_adaptive} on its own floorplan ([floorplan_of] its subject,
+    so every candidate gets the same utilization policy the plain flow
+    would) with the stimulus RNG derived from [seed] exactly as
+    [cals flow] derives it — the baseline evaluation is bit-identical
+    to a plain [--adaptive] run.
+
+    Selection minimizes [(accepted K, subject gates, cell area,
+    candidate index)] lexicographically — no accepted K sorts last, and
+    the index tie-break makes the baseline win exact ties — so the
+    selected accepted K is never worse than the fixed pipeline's and
+    repeated runs are bit-identical. The selected accepted netlist is
+    re-mitered against its subject before returning.
+
+    [jobs > 1] evaluates candidates concurrently on a
+    {!Cals_util.Pool} ([route_jobs] is then forced to 1 — pools must
+    not nest); the result does not depend on [jobs]. Telemetry:
+    [orchestrate_candidates_evaluated / _guarded / _improvements], plus
+    the generation-side counters of {!Cals_logic.Orchestrate}.
+
+    [checks] selects the {e flow}'s own per-K verification level, as in
+    {!run}; the orchestrator's candidate and accepted-netlist miters
+    run regardless. *)
+
 val equiv_seed : k:float -> int
 (** Seed of the per-K equivalence stimulus, derived from K alone and from
     nothing else — not evaluation order, not cache state — so cold,

@@ -12,8 +12,10 @@ val parse : string -> Network.t
 (** Parse BLIF source text. *)
 
 val read_file : string -> Network.t
+(** {!parse} the contents of a file. *)
 
 val print : ?model:string -> Network.t -> string
 (** Render a network back to BLIF (one [.names] per live node). *)
 
 val write_file : ?model:string -> string -> Network.t -> unit
+(** {!print} to a file. *)

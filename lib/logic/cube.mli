@@ -30,12 +30,19 @@ val literals : t -> (int * bool) list
 (** Increasing variable order. *)
 
 val lit : int -> bool -> t
+(** Single-literal cube; [lit v phase] with [phase = true] positive. *)
+
 val num_literals : t -> int
+(** Number of literals (population count of both masks). *)
+
 val support : t -> int
 (** Mask of mentioned variables. *)
 
 val has_var : t -> int -> bool
+(** Whether the cube has a literal (either phase) on the variable. *)
+
 val is_universe : t -> bool
+(** Whether the cube is the empty product (constant true). *)
 
 val inter : t -> t -> t option
 (** Conjunction; [None] when the product is empty (x and x'). *)
@@ -55,8 +62,16 @@ val common : t -> t -> t
 (** Largest cube dividing both (shared literals). *)
 
 val eval : t -> bool array -> bool
+(** Evaluate under an assignment indexed by variable. *)
+
 val eval64 : t -> int64 array -> int64
+(** Bit-parallel {!eval} over 64 assignments at once. *)
+
 val compare : t -> t -> int
+(** Total order on the mask pair (arbitrary but deterministic). *)
+
 val equal : t -> t -> bool
+(** Mask equality — cubes are canonical, so this is semantic equality. *)
+
 val to_string : ?names:string array -> t -> string
 (** e.g. ["a b' d"]; ["<1>"] for the universe. *)

@@ -7,7 +7,7 @@
     the paper studies. *)
 
 type t = {
-  cokernel : Cube.t;
+  cokernel : Cube.t;  (** The cube whose quotient yields [kernel]. *)
   kernel : Sop.t;  (** Cube-free, at least two cubes (or the whole f). *)
 }
 

@@ -17,13 +17,20 @@ type node = {
 type t
 
 val create : pi_names:string array -> t
+(** Empty network over the named primary inputs. *)
+
 val num_pis : t -> int
+(** Number of primary inputs. *)
+
 val pi_names : t -> string array
+(** Primary-input names, in index order. *)
 
 val add_node : t -> signal array -> Sop.t -> int
 (** Appends a node; the SOP support must fit the fanin count. *)
 
 val node : t -> int -> node
+(** The (mutable) node record for an id. *)
+
 val num_nodes : t -> int
 (** Allocated node count, including dead nodes. *)
 
@@ -33,8 +40,13 @@ val copy : t -> t
     reference for equivalence checking across an optimization script. *)
 
 val set_output : t -> string -> signal -> unit
+(** Add (or redefine, by name) a primary output driven by the signal. *)
+
 val outputs : t -> (string * signal) array
+(** Primary outputs in declaration order. *)
+
 val set_outputs : t -> (string * signal) array -> unit
+(** Replace the whole output list (used by passes that renumber nodes). *)
 
 val live_nodes : t -> bool array
 (** Reachability from the outputs. *)
@@ -51,6 +63,7 @@ val num_literals : t -> int
 (** Total SOP literals over live nodes — the SIS area-estimation metric. *)
 
 val num_live_nodes : t -> int
+(** Nodes reachable from the outputs. *)
 
 val normalize_fanins : t -> int -> unit
 (** Drop fanins no longer used by the node's SOP and compact variables. *)
@@ -63,5 +76,7 @@ val simulate : t -> int64 array -> int64 array
 (** Bit-parallel over 64 vectors; stimulus per PI, result per output. *)
 
 val random_vectors : Cals_util.Rng.t -> t -> int64 array
+(** One random 64-bit stimulus word per primary input, for {!simulate}. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: signal ranges, support within fanins, acyclicity. *)

@@ -6,12 +6,14 @@
     [.e] and product-term lines. *)
 
 exception Parse_error of string
+(** Raised with a message containing the offending line number. *)
 
 val parse : string -> Network.t
 (** One network node per output, whose SOP collects the products with '1'
     (or '4') in that output column. *)
 
 val read_file : string -> Network.t
+(** {!parse} the contents of a file. *)
 
 val print : Network.t -> string
 (** Render a two-level network back to PLA. Raises [Invalid_argument] when

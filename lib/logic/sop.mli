@@ -17,18 +17,35 @@ val of_cubes : Cube.t list -> t
 (** Deduplicates and drops covered cubes. *)
 
 val cubes : t -> Cube.t list
+(** The canonical cube list, in {!Cube.compare} order. *)
+
 val num_cubes : t -> int
+(** Number of product terms. *)
+
 val num_literals : t -> int
+(** Total literal count over all cubes — the SIS area proxy. *)
+
 val support : t -> int
 (** Mask of variables appearing in some cube. *)
 
 val support_list : t -> int list
+(** {!support} as an increasing variable list. *)
+
 val is_zero : t -> bool
+(** Whether the function is constant false. *)
+
 val is_one : t -> bool
+(** Whether the function is constant true. *)
 
 val var : int -> t
+(** The single positive literal on a variable, as a one-cube SOP. *)
+
 val lit : int -> bool -> t
+(** A single literal of either phase, as a one-cube SOP. *)
+
 val sum : t -> t -> t
+(** Boolean OR (cube-list union, re-canonicalized). *)
+
 val product : t -> t -> t
 (** Cube-by-cube product (drops empty products). *)
 
@@ -66,8 +83,13 @@ val can_substitute : ?max_cubes:int -> t -> int -> t -> bool
 (** True when [substitute] can be performed exactly within the size cap. *)
 
 val eval : t -> bool array -> bool
+(** Evaluate under an assignment indexed by variable. *)
+
 val eval64 : t -> int64 array -> int64
+(** Bit-parallel {!eval} over 64 assignments at once. *)
+
 val equal : t -> t -> bool
 (** Structural equality of canonical cube sets (not Boolean equivalence). *)
 
 val to_string : ?names:string array -> t -> string
+(** Cubes joined with [" + "], each via {!Cube.to_string}. *)

@@ -223,6 +223,7 @@ type spec = {
   utilization : float;
   optimize : bool;
   timing : float option;
+  orchestrate : int option;
   deadline_s : float option;
 }
 
@@ -234,7 +235,15 @@ let design_key spec =
       Printf.sprintf "preset:%s:%g:%d" name scale seed
     | Workload p -> Printf.sprintf "workload:%s" (Fuzz.params_to_string p)
   in
-  Printf.sprintf "%s:opt=%b:util=%g" base spec.optimize spec.utilization
+  (* The orchestrate budget changes the subject the design cache is built
+     on, so it must key the cache like optimize/utilization do. *)
+  let orch =
+    match spec.orchestrate with
+    | None -> ""
+    | Some budget -> Printf.sprintf ":orch=%d" budget
+  in
+  Printf.sprintf "%s:opt=%b:util=%g%s" base spec.optimize spec.utilization
+    orch
 
 (* Field accessors that collapse to Result for one-line diagnoses. *)
 let get_float name default json =
@@ -336,6 +345,15 @@ let spec_of_json ?(default_id = "") json =
       else Ok (Some f)
     | Some _ -> Error "timing must be a number or boolean"
   in
+  let* orchestrate =
+    match member "orchestrate" json with
+    | None | Some Null | Some (Bool false) -> Ok None
+    | Some (Bool true) -> Ok (Some Cals_logic.Orchestrate.default_budget)
+    | Some (Num f) ->
+      if f < 1.0 then Error "orchestrate must be a positive candidate budget"
+      else Ok (Some (int_of_float f))
+    | Some _ -> Error "orchestrate must be a number or boolean"
+  in
   let* deadline_s =
     let* f = get_float "deadline_s" nan json in
     if Float.is_nan f then Ok None
@@ -344,7 +362,7 @@ let spec_of_json ?(default_id = "") json =
   in
   Ok
     { id; input; k_schedule; checks; utilization; optimize; timing;
-      deadline_s }
+      orchestrate; deadline_s }
 
 let spec_of_string ?default_id line =
   let* json = parse_json line in
@@ -391,6 +409,9 @@ let spec_to_json spec =
     @ (match spec.timing with
       | None -> []
       | Some t -> [ ("timing", Num t) ])
+    @ (match spec.orchestrate with
+      | None -> []
+      | Some budget -> [ ("orchestrate", Num (float_of_int budget)) ])
     @
     match spec.deadline_s with
     | None -> []

@@ -24,7 +24,9 @@
     {!Cals_core.Mapper.default_timing_weight}, or a positive number for
     an explicit one — timing-driven covering, with the post-route
     critical path reported in the artifact's metrics),
-    [deadline_s] (default: the scheduler's),
+    [orchestrate] ([true] for the default candidate budget, or a
+    positive count — explore AIG pass orderings and build the design on
+    the best one), [deadline_s] (default: the scheduler's),
     [scale] / [seed] (presets only). A [workload] job names a synthetic
     {!Cals_verify.Fuzz.params} circuit, so its quarantine reproducer is
     replayable with [cals fuzz --replay]. *)
@@ -72,6 +74,14 @@ type spec = {
           pure Eq. 5 covering. Not part of {!design_key}: the weight is
           per-map-call (see {!Cals_core.Incremental.map}), so timing and
           non-timing jobs share one warmed session. *)
+  orchestrate : int option;
+      (** Candidate budget for synthesis orchestration
+          ({!Cals_core.Flow.orchestrate}) when building the design:
+          [Some budget] selects the best of the legacy pipeline plus
+          [budget] AIG pass orderings as the cached subject. [true] on
+          the wire means {!Cals_logic.Orchestrate.default_budget}.
+          Part of {!design_key} — orchestrated and plain jobs must not
+          share a session. *)
   deadline_s : float option;  (** [None] = the scheduler's default. *)
 }
 

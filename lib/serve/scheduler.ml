@@ -254,14 +254,35 @@ let build_design ~cache_dir (spec : Proto.spec) =
   let key = Proto.design_key spec in
   Span.with_ ~cat:"serve" ~meta:key "serve.build_design" @@ fun () ->
   let network = network_of_input spec.Proto.input in
-  if spec.Proto.optimize then Cals_logic.Optimize.script_area network
-  else Cals_logic.Optimize.script_light network;
-  let subject = Cals_logic.Decompose.subject_of_network network in
-  let floorplan =
+  let floorplan_of subject =
     Floorplan.for_area
       ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
       ~utilization:spec.Proto.utilization ~aspect:1.0 ~geometry
   in
+  let subject =
+    match spec.Proto.orchestrate with
+    | Some budget ->
+      (* Orchestration is paid once per design key (jobs sharing the key
+         share this build through the design cache) and selects the
+         subject every job of the design then maps. Deterministic in the
+         spec, so racing builders converge on one subject. *)
+      let result =
+        Flow.orchestrate ~budget ~optimize:spec.Proto.optimize
+          ~t:(Option.value spec.Proto.timing ~default:0.0)
+          ?k_schedule:spec.Proto.k_schedule ~network ~library ~floorplan_of
+          ~seed:(placement_seed spec.Proto.input) ()
+      in
+      Log.info (fun m ->
+          m "%s: orchestration selected %s (%d gates vs %d baseline)" key
+            result.Flow.best.Flow.cand_label result.Flow.best.Flow.gates
+            result.Flow.baseline.Flow.gates);
+      result.Flow.best_subject
+    | None ->
+      if spec.Proto.optimize then Cals_logic.Optimize.script_area network
+      else Cals_logic.Optimize.script_light network;
+      Cals_logic.Decompose.subject_of_network network
+  in
+  let floorplan = floorplan_of subject in
   let rng = Cals_util.Rng.create (placement_seed spec.Proto.input + 1) in
   let positions = Placement.place_subject subject ~floorplan ~rng in
   let session = Incremental.create ~subject ~library ~positions () in

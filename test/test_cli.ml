@@ -68,6 +68,26 @@ let test_flow () =
        cals);
   check_file "flow" "cli-trace.json"
 
+(* Orchestrated flow: candidate table, miter-verified selection, and
+   bit-identical output across two runs (the determinism contract the
+   orchestrator documents). *)
+let test_flow_orchestrate () =
+  check_exit "flow --orchestrate" 0
+    (Printf.sprintf "%s flow %s --orchestrate" cals blif);
+  let first = logged () in
+  Alcotest.(check bool) "prints the candidate table" true
+    (contains ~needle:"baseline" first
+    && contains ~needle:"aig:strash" first
+    && contains ~needle:"selected" first
+    && contains ~needle:"miter-verified" first);
+  check_exit "flow --orchestrate again" 0
+    (Printf.sprintf "%s flow %s --orchestrate" cals blif);
+  Alcotest.(check bool) "two runs bit-identical" true
+    (String.equal first (logged ()));
+  (* An explicit budget works, and a nonsensical one is a usage error. *)
+  check_exit "flow --orchestrate=3" 0
+    (Printf.sprintf "%s flow %s --orchestrate=3" cals blif)
+
 let test_sta () =
   check_exit "sta" 0 (Printf.sprintf "%s sta %s" cals blif);
   Alcotest.(check bool) "prints a critical path" true
@@ -186,6 +206,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "map" `Quick test_map;
           Alcotest.test_case "flow" `Quick test_flow;
+          Alcotest.test_case "flow-orchestrate" `Quick test_flow_orchestrate;
           Alcotest.test_case "sta" `Quick test_sta;
           Alcotest.test_case "lib" `Quick test_lib;
           Alcotest.test_case "fuzz" `Quick test_fuzz;

@@ -370,6 +370,90 @@ let test_adaptive_route_budget () =
     (stats.Flow.real_routes <= 6);
   Alcotest.(check bool) "routing returned" true (outcome.Flow.routing <> None)
 
+(* ---------------------- synthesis orchestration ---------------------- *)
+
+let orchestrate_floorplan_of subject =
+  Floorplan.for_area
+    ~core_area:(float_of_int (Subject.num_gates subject) *. 5.0)
+    ~utilization:0.5 ~aspect:1.0 ~geometry
+
+let test_orchestrate_beats_baseline () =
+  let net = small_circuit 1 in
+  let r =
+    Flow.orchestrate ~budget:4 ~optimize:false ~network:net ~library:lib
+      ~floorplan_of:orchestrate_floorplan_of ~seed:1 ()
+  in
+  Alcotest.(check int) "baseline leads the schedule" 0
+    (match r.Flow.evaluations with
+    | b :: _ when b.Flow.cand_label = "baseline" -> 0
+    | _ -> 1);
+  Alcotest.(check int) "candidate count" 5 (List.length r.Flow.evaluations);
+  Alcotest.(check bool)
+    (Printf.sprintf "best %d gates <= baseline %d" r.Flow.best.Flow.gates
+       r.Flow.baseline.Flow.gates)
+    true
+    (r.Flow.best.Flow.gates <= r.Flow.baseline.Flow.gates);
+  (* The selected candidate carries an accepted, equivalent mapped netlist
+     (orchestrate miter-checks internally; re-check functionally here). *)
+  let outcome =
+    match r.Flow.best.Flow.result with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "selected candidate was guarded"
+  in
+  match outcome.Flow.mapped with
+  | None -> Alcotest.fail "selected candidate did not accept"
+  | Some mapped ->
+    let rng = Rng.create 11 in
+    for _ = 1 to 8 do
+      let stimulus = Network.random_vectors rng net in
+      if Network.simulate net stimulus <> Mapped.simulate mapped stimulus then
+        Alcotest.fail "selected mapped netlist is not equivalent";
+      if Network.simulate net stimulus
+         <> Subject.simulate r.Flow.best_subject stimulus
+      then Alcotest.fail "selected subject is not equivalent"
+    done
+
+let test_orchestrate_deterministic () =
+  let run () =
+    let net = small_circuit 3 in
+    let r =
+      Flow.orchestrate ~budget:6 ~optimize:false ~network:net ~library:lib
+        ~floorplan_of:orchestrate_floorplan_of ~seed:7 ()
+    in
+    let digest =
+      List.map
+        (fun (e : Flow.candidate_eval) ->
+          ( e.Flow.cand_label,
+            e.Flow.gates,
+            e.Flow.guarded,
+            match e.Flow.result with
+            | None -> None
+            | Some (o, _) ->
+              Some
+                ( Option.map (fun it -> it.Flow.k) o.Flow.accepted,
+                  Option.map Mapped.to_verilog o.Flow.mapped ) ))
+        r.Flow.evaluations
+    in
+    (r.Flow.best_index, digest)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same selection" (fst a) (fst b);
+  Alcotest.(check bool) "bit-identical evaluations" true (snd a = snd b)
+
+let test_orchestrate_jobs_parity () =
+  (* The pooled evaluation must reproduce the sequential one exactly. *)
+  let net = small_circuit 4 in
+  let go jobs =
+    let r =
+      Flow.orchestrate ~budget:4 ~optimize:false ~jobs ~network:net
+        ~library:lib ~floorplan_of:orchestrate_floorplan_of ~seed:5 ()
+    in
+    ( r.Flow.best_index,
+      List.map (fun (e : Flow.candidate_eval) -> (e.Flow.cand_label, e.Flow.gates))
+        r.Flow.evaluations )
+  in
+  Alcotest.(check bool) "jobs=1 == jobs=4" true (go 1 = go 4)
+
 let () =
   Alcotest.run "flow"
     [
@@ -401,5 +485,13 @@ let () =
         [
           Alcotest.test_case "sis vs baseline" `Quick test_full_pipeline_sis_vs_baseline;
           Alcotest.test_case "with sta" `Quick test_pipeline_with_sta;
+        ] );
+      ( "orchestrate",
+        [
+          Alcotest.test_case "beats baseline" `Quick
+            test_orchestrate_beats_baseline;
+          Alcotest.test_case "deterministic" `Quick
+            test_orchestrate_deterministic;
+          Alcotest.test_case "jobs parity" `Quick test_orchestrate_jobs_parity;
         ] );
     ]

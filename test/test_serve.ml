@@ -46,6 +46,7 @@ let workload_spec ?(id = "") ?(checks = Check.Off) ?deadline_s ?k_schedule
     utilization = 0.55;
     optimize = false;
     timing;
+    orchestrate = None;
     deadline_s;
   }
 
@@ -147,6 +148,48 @@ let test_timing_proto () =
       Printf.sprintf {|{%s,"timing":"fast"}|} wl;
     ]
 
+(* An orchestrate-enabled job spec round-trips, [true] means the default
+   budget, and — unlike the timing weight — the budget IS part of the
+   design key: orchestrated and plain jobs must not share a session. *)
+let test_orchestrate_proto () =
+  let parse line =
+    match Proto.spec_of_string ~default_id:"d" line with
+    | Ok spec -> spec
+    | Error e -> Alcotest.failf "parse %s: %s" line e
+  in
+  let wl =
+    {|"workload":{"family":"pla","seed":3,"inputs":6,"outputs":3,"size":12}|}
+  in
+  let explicit = parse (Printf.sprintf {|{%s,"orchestrate":5}|} wl) in
+  Alcotest.(check (option int))
+    "explicit budget parsed" (Some 5) explicit.Proto.orchestrate;
+  let on = parse (Printf.sprintf {|{%s,"orchestrate":true}|} wl) in
+  Alcotest.(check (option int))
+    "orchestrate:true means the default budget"
+    (Some Cals_logic.Orchestrate.default_budget)
+    on.Proto.orchestrate;
+  let off = parse (Printf.sprintf {|{%s,"orchestrate":false}|} wl) in
+  Alcotest.(check (option int)) "orchestrate:false is off" None
+    off.Proto.orchestrate;
+  let printed = Proto.print_json (Proto.spec_to_json explicit) in
+  let again = parse printed in
+  Alcotest.(check (option int))
+    "budget survives a round-trip" explicit.Proto.orchestrate
+    again.Proto.orchestrate;
+  Alcotest.(check bool)
+    "design key separates orchestrated from plain jobs" false
+    (String.equal (Proto.design_key off) (Proto.design_key explicit));
+  List.iter
+    (fun line ->
+      match Proto.spec_of_string ~default_id:"d" line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed orchestrate %s" line)
+    [
+      Printf.sprintf {|{%s,"orchestrate":0}|} wl;
+      Printf.sprintf {|{%s,"orchestrate":-3}|} wl;
+      Printf.sprintf {|{%s,"orchestrate":"yes"}|} wl;
+    ]
+
 (* ------------------------- queue ------------------------- *)
 
 let test_queue_policy () =
@@ -214,6 +257,7 @@ let test_drain_mixed () =
       utilization = 0.55;
       optimize = false;
       timing = None;
+      orchestrate = None;
       deadline_s = None;
     };
   Scheduler.submit scheduler
@@ -227,6 +271,7 @@ let test_drain_mixed () =
       utilization = 0.55;
       optimize = false;
       timing = None;
+      orchestrate = None;
       deadline_s = None;
     };
   let s = Scheduler.drain scheduler () in
@@ -559,6 +604,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "design-key" `Quick test_design_key;
           Alcotest.test_case "timing" `Quick test_timing_proto;
+          Alcotest.test_case "orchestrate" `Quick test_orchestrate_proto;
         ] );
       ("queue", [ Alcotest.test_case "policy" `Quick test_queue_policy ]);
       ( "scheduler",

@@ -33,6 +33,7 @@ let workload_spec ?(id = "") ?(checks = Check.Off) ?deadline_s ?k_schedule
     utilization = 0.55;
     optimize = false;
     timing = None;
+    orchestrate = None;
     deadline_s;
   }
 
